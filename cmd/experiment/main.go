@@ -1,0 +1,88 @@
+// Command experiment runs a JSON experiment descriptor (the analogue of
+// the paper artifact's `./run.sh -e isca.json` workflow) and writes a
+// CSV of results plus an optional speedup table.
+//
+//	experiment -f configs/isca.json -o results.csv
+//	experiment -f configs/isca.json -speedup-base baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"udpsim/internal/experiments"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "descriptor JSON file")
+		out     = flag.String("o", "", "CSV output path (default stdout)")
+		base    = flag.String("speedup-base", "", "also print per-workload speedups over this config label")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := experiments.ParseDescriptor(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	fmt.Fprintf(os.Stderr, "experiment %q: %d workloads × %d configs × %d simpoints\n",
+		d.Name, len(d.Workloads), len(d.Configs), d.Simpoints)
+	results, err := experiments.RunDescriptor(d, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := experiments.WriteCSV(w, results); err != nil {
+		fatal(err)
+	}
+
+	if *base != "" {
+		rows, err := experiments.SpeedupTable(results, *base)
+		if err != nil {
+			fatal(err)
+		}
+		names := experiments.SortedSeriesNames(rows)
+		tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "workload\t%s\n", strings.Join(names, "\t"))
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s", r.App)
+			for _, nm := range names {
+				fmt.Fprintf(tw, "\t%+.1f%%", r.Speedups[nm]*100)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,504 @@
+// Command figures regenerates the paper's evaluation tables and
+// figures, printing the same rows/series the paper plots.
+//
+// Examples:
+//
+//	figures -all                 # every figure and table (slow)
+//	figures -fig 13              # UDP speedups
+//	figures -table 3             # optimal FTQ / utility / timeliness
+//	figures -fig 3 -quick        # fast, low-fidelity smoke run
+//	figures -fig 16 -workloads xgboost,mysql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/plot"
+	"udpsim/internal/sim"
+	"udpsim/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure number to regenerate (1, 3, 4, 5, 6, 8, 11-17)")
+		table     = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		quick     = flag.Bool("quick", false, "low-fidelity fast run")
+		instrs    = flag.Uint64("instrs", 0, "override instructions per region")
+		warmup    = flag.Uint64("warmup", 0, "override warmup instructions")
+		simpoints = flag.Int("simpoints", 0, "override simpoints per app")
+		apps      = flag.String("workloads", "", "comma-separated workload subset")
+		svgDir    = flag.String("svg", "", "also write FigureNN.svg files into this directory")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	if *instrs > 0 {
+		o.Instructions = *instrs
+	}
+	if *warmup > 0 {
+		o.Warmup = *warmup
+	}
+	if *simpoints > 0 {
+		o.Simpoints = *simpoints
+	}
+	if *apps != "" {
+		o.Workloads = strings.Split(*apps, ",")
+	}
+	if *verbose {
+		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	var figs []int
+	var tables []int
+	switch {
+	case *all:
+		figs = []int{1, 3, 4, 5, 6, 8, 11, 12, 13, 14, 15, 16, 17}
+		tables = []int{1, 2, 3}
+	case *fig != 0:
+		figs = []int{*fig}
+	case *table != 0:
+		tables = []int{*table}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, t := range tables {
+		if err := renderTable(t, o); err != nil {
+			fatal(err)
+		}
+	}
+	for _, f := range figs {
+		if err := renderFigure(f, o, *svgDir); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// saveSVG writes one rendered figure file.
+func saveSVG(dir string, n int, svg string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("Figure%02d.svg", n))
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// speedupChart converts rows into the plot package's bar form.
+func speedupChart(title string, rows []experiments.SpeedupRow) plot.Chart {
+	apps := make([]string, 0, len(rows))
+	data := map[string]map[string]float64{}
+	for _, r := range rows {
+		apps = append(apps, r.App)
+		data[r.App] = r.Speedups
+	}
+	return plot.FromSpeedupRows(title, apps, data)
+}
+
+// sweepChart converts sweep series into the plot package's line form.
+func sweepChart(title, ylabel string, series []experiments.SweepSeries, percent bool) plot.Chart {
+	c := plot.Chart{Title: title, YLabel: ylabel, Percent: percent}
+	if len(series) > 0 {
+		for _, x := range series[0].X {
+			c.XLabels = append(c.XLabels, fmt.Sprintf("%d", x))
+		}
+	}
+	for _, s := range series {
+		c.Series = append(c.Series, plot.Series{Name: s.App, Values: s.Values})
+	}
+	return c
+}
+
+// mpkiChart converts MPKI rows into bars.
+func mpkiChart(title string, rows []experiments.MPKIRow) plot.Chart {
+	apps := make([]string, 0, len(rows))
+	data := map[string]map[string]float64{}
+	for _, r := range rows {
+		apps = append(apps, r.App)
+		data[r.App] = r.MPKI
+	}
+	c := plot.FromSpeedupRows(title, apps, data)
+	c.Percent = false
+	c.YLabel = "icache MPKI"
+	return c
+}
+
+// lostChart converts lost-instruction rows into bars.
+func lostChart(title string, rows []experiments.LostRow) plot.Chart {
+	apps := make([]string, 0, len(rows))
+	data := map[string]map[string]float64{}
+	for _, r := range rows {
+		apps = append(apps, r.App)
+		data[r.App] = r.Lost
+	}
+	c := plot.FromSpeedupRows(title, apps, data)
+	c.Percent = false
+	c.YLabel = "instructions lost per kilo-instruction"
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+	os.Exit(1)
+}
+
+func renderTable(n int, o experiments.Options) error {
+	switch n {
+	case 1:
+		return renderTable1(o)
+	case 2:
+		return renderTable2()
+	case 3:
+		return renderTable3(o)
+	default:
+		return fmt.Errorf("unknown table %d (have 1, 2, 3)", n)
+	}
+}
+
+// renderTable1 prints the workload characterization.
+func renderTable1(o experiments.Options) error {
+	rows, err := experiments.Table1(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table I — Workload characterization (synthetic stand-ins)")
+	tw := newTW()
+	fmt.Fprintln(tw, "Application\tStatic code\tDynamic footprint\tBranches\tTaken\tIcache MPKI\tBranch MPKI\tBaseline IPC")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d KiB\t%d KiB\t%.1f%%\t%.1f%%\t%.1f\t%.1f\t%.3f\n",
+			r.App, r.StaticKB, r.DynamicKB, r.BranchPct, r.TakenPct, r.IcacheMPKI, r.BranchMPKI, r.BaselineIPC)
+	}
+	return tw.Flush()
+}
+
+// renderTable2 prints the simulated-system configuration (Table II).
+func renderTable2() error {
+	cfg := sim.NewConfig(workload.MustByName("mysql"), sim.MechBaseline)
+	fmt.Println("Table II — Simulated System")
+	tw := newTW()
+	rows := [][2]string{
+		{"CPU", "Sunny-Cove-like (simulated)"},
+		{"Frontend width and retirement", fmt.Sprintf("%d-way", cfg.Width)},
+		{"Functional Units", fmt.Sprintf("%d ALU, %d Load, %d Store", cfg.ALUs, cfg.LoadPorts, cfg.StorePorts)},
+		{"Branch Predictor", "TAGE-SC-L"},
+		{"Branch Target Buffer (BTB)", fmt.Sprintf("%d entries", cfg.BTBEntries)},
+		{"Indirect Branch Target Buffer", fmt.Sprintf("%d entries", cfg.IndirectEntries)},
+		{"ROB", fmt.Sprintf("%d entries", cfg.ROBSize)},
+		{"Reservation Station", fmt.Sprintf("%d entries (unified)", cfg.RSSize)},
+		{"Data Prefetcher", "Stream"},
+		{"Instruction Prefetcher", "FDIP"},
+		{"Load Buffer", fmt.Sprintf("%d entries", cfg.LoadBuffer)},
+		{"Store Buffer", fmt.Sprintf("%d entries", cfg.StoreBuffer)},
+		{"L1 instruction cache", fmt.Sprintf("%d KiB, %d-way", cfg.ICacheBytes/1024, cfg.ICacheWays)},
+		{"L1 data cache", fmt.Sprintf("%d KiB, %d-way", cfg.L1DBytes/1024, cfg.L1DWays)},
+		{"L2 unified cache", fmt.Sprintf("%d KiB, %d-way", cfg.L2Bytes/1024, cfg.L2Ways)},
+		{"LLC unified cache", fmt.Sprintf("%d MiB, %d-way", cfg.LLCBytes/1024/1024, cfg.LLCWays)},
+		{"L1 D-cache latency", fmt.Sprintf("%d cycles", cfg.L1DLatency)},
+		{"L1 I-cache latency", "3 cycles (pipelined)"},
+		{"L2 latency", fmt.Sprintf("%d cycles", cfg.L2Latency)},
+		{"LLC latency", fmt.Sprintf("%d cycles", cfg.LLCLatency)},
+		{"Memory", fmt.Sprintf("%d-cycle DRAM, %d-cycle burst occupancy", cfg.DRAMLatency, cfg.DRAMBurstCycles)},
+		{"FTQ blocks per cycle", fmt.Sprintf("%d", cfg.BlocksPerCycle)},
+		{"FTQ block size", "32 B"},
+		{"FTQ depth (baseline)", fmt.Sprintf("%d", cfg.FTQDepth)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\n", r[0], r[1])
+	}
+	return tw.Flush()
+}
+
+func renderTable3(o experiments.Options) error {
+	rows, corrU, corrT, err := experiments.Table3(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table III — Optimal FTQ size, utility and timeliness (FTQ=32)")
+	tw := newTW()
+	fmt.Fprintln(tw, "Application\tOptimal FTQ\tUtility\tTimeliness")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\n", r.App, r.OptimalFTQ, r.Utility, r.Timeliness)
+	}
+	fmt.Fprintf(tw, "Correl. Coefficient\t-\t%.2f\t%.2f\n", corrU, corrT)
+	return tw.Flush()
+}
+
+func renderFigure(n int, o experiments.Options, svgDir string) error {
+	switch n {
+	case 1:
+		rows, err := experiments.Figure1(o)
+		if err != nil {
+			return err
+		}
+		printSpeedups("Figure 1 — Perfect icache speedup over FDIP-32 baseline", rows)
+		if svg, err := plot.Bars(speedupChart("Figure 1 — Perfect icache speedup over FDIP-32", rows)); err == nil {
+			if err := saveSVG(svgDir, 1, svg); err != nil {
+				return err
+			}
+		}
+	case 3:
+		series, optima, err := experiments.Figure3(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 3 — IPC speedup over FTQ=32 across FTQ depths", series, "%+.3f")
+		if svg, err := plot.Lines(sweepChart("Figure 3 — IPC speedup over FTQ=32 across FTQ depths", "speedup", series, true)); err == nil {
+			if err := saveSVG(svgDir, 3, svg); err != nil {
+				return err
+			}
+		}
+		fmt.Println("Per-application optimal FTQ depth:")
+		apps := make([]string, 0, len(optima))
+		for a := range optima {
+			apps = append(apps, a)
+		}
+		sort.Strings(apps)
+		for _, a := range apps {
+			fmt.Printf("  %-11s %d\n", a, optima[a])
+		}
+	case 4:
+		series, err := experiments.Figure4(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 4 — Timeliness (icache/(icache+fill-buffer)) across FTQ depths", series, "%.3f")
+		if svg, err := plot.Lines(sweepChart("Figure 4 — Timeliness across FTQ depths", "icache/(icache+fill-buffer)", series, false)); err == nil {
+			if err := saveSVG(svgDir, 4, svg); err != nil {
+				return err
+			}
+		}
+	case 5:
+		series, err := experiments.Figure5(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 5 — On-path prefetch ratio across FTQ depths", series, "%.3f")
+		if svg, err := plot.Lines(sweepChart("Figure 5 — On-path prefetch ratio across FTQ depths", "on-path ratio", series, false)); err == nil {
+			if err := saveSVG(svgDir, 5, svg); err != nil {
+				return err
+			}
+		}
+	case 6:
+		series, err := experiments.Figure6(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 6 — Prefetch usefulness across FTQ depths", series, "%.3f")
+		if svg, err := plot.Lines(sweepChart("Figure 6 — Prefetch usefulness across FTQ depths", "useful ratio", series, false)); err == nil {
+			if err := saveSVG(svgDir, 6, svg); err != nil {
+				return err
+			}
+		}
+	case 8:
+		series, err := experiments.Figure8(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 8 — Mean FTQ occupancy across FTQ depths", series, "%.1f")
+		if svg, err := plot.Lines(sweepChart("Figure 8 — Mean FTQ occupancy across FTQ depths", "mean occupancy", series, false)); err == nil {
+			if err := saveSVG(svgDir, 8, svg); err != nil {
+				return err
+			}
+		}
+	case 11:
+		rows, optima, err := experiments.Figure11(o)
+		if err != nil {
+			return err
+		}
+		printSpeedups("Figure 11 — UFTQ variants vs OPT (IPC speedup over FDIP-32)", rows)
+		_ = optima
+		if svg, err := plot.Bars(speedupChart("Figure 11 — UFTQ variants vs OPT", rows)); err == nil {
+			if err := saveSVG(svgDir, 11, svg); err != nil {
+				return err
+			}
+		}
+	case 12:
+		rows, err := experiments.Figure12(o)
+		if err != nil {
+			return err
+		}
+		printMPKI("Figure 12 — Icache MPKI: baseline vs UFTQ variants vs OPT", rows)
+		if svg, err := plot.Bars(mpkiChart("Figure 12 — Icache MPKI: baseline vs UFTQ variants vs OPT", rows)); err == nil {
+			if err := saveSVG(svgDir, 12, svg); err != nil {
+				return err
+			}
+		}
+	case 13:
+		rows, err := experiments.Figure13(o)
+		if err != nil {
+			return err
+		}
+		printSpeedups("Figure 13 — UDP / Infinite Storage / EIP-8KB / 40K icache (IPC speedup)", rows)
+		if svg, err := plot.Bars(speedupChart("Figure 13 — UDP / Infinite / EIP-8KB / 40K icache", rows)); err == nil {
+			if err := saveSVG(svgDir, 13, svg); err != nil {
+				return err
+			}
+		}
+	case 14:
+		rows, err := experiments.Figure14(o)
+		if err != nil {
+			return err
+		}
+		printMPKI("Figure 14 — Icache MPKI across techniques", rows)
+		if svg, err := plot.Bars(mpkiChart("Figure 14 — Icache MPKI across techniques", rows)); err == nil {
+			if err := saveSVG(svgDir, 14, svg); err != nil {
+				return err
+			}
+		}
+	case 15:
+		rows, err := experiments.Figure15(o)
+		if err != nil {
+			return err
+		}
+		printLost("Figure 15 — Instructions lost to icache misses (per kilo-instruction)", rows)
+		if svg, err := plot.Bars(lostChart("Figure 15 — Instructions lost to icache misses", rows)); err == nil {
+			if err := saveSVG(svgDir, 15, svg); err != nil {
+				return err
+			}
+		}
+	case 16:
+		series, err := experiments.Figure16(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 16 — UDP speedup across BTB sizes", series, "%+.3f")
+		if svg, err := plot.Lines(sweepChart("Figure 16 — UDP speedup across BTB sizes", "speedup", series, true)); err == nil {
+			if err := saveSVG(svgDir, 16, svg); err != nil {
+				return err
+			}
+		}
+	case 17:
+		series, err := experiments.Figure17(o)
+		if err != nil {
+			return err
+		}
+		printSweep("Figure 17 — UDP speedup across FTQ sizes", series, "%+.3f")
+		if svg, err := plot.Lines(sweepChart("Figure 17 — UDP speedup across FTQ sizes", "speedup", series, true)); err == nil {
+			if err := saveSVG(svgDir, 17, svg); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown figure %d (have 1, 3, 4, 5, 6, 8, 11-17)", n)
+	}
+	return nil
+}
+
+func newTW() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func printSpeedups(title string, rows []experiments.SpeedupRow) {
+	fmt.Println(title)
+	names := experiments.SortedSeriesNames(rows)
+	tw := newTW()
+	fmt.Fprintf(tw, "app\t%s\n", strings.Join(names, "\t"))
+	means := make(map[string]float64)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s", r.App)
+		for _, nm := range names {
+			fmt.Fprintf(tw, "\t%+.1f%%", r.Speedups[nm]*100)
+			means[nm] += r.Speedups[nm]
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "average")
+	for _, nm := range names {
+		fmt.Fprintf(tw, "\t%+.1f%%", means[nm]/float64(len(rows))*100)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+	fmt.Println()
+}
+
+func printSweep(title string, series []experiments.SweepSeries, format string) {
+	fmt.Println(title)
+	tw := newTW()
+	if len(series) > 0 {
+		fmt.Fprintf(tw, "app")
+		for _, x := range series[0].X {
+			fmt.Fprintf(tw, "\t%d", x)
+		}
+		fmt.Fprintln(tw)
+	}
+	for _, s := range series {
+		fmt.Fprintf(tw, "%s", s.App)
+		for _, v := range s.Values {
+			fmt.Fprintf(tw, "\t"+format, v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println()
+}
+
+func printMPKI(title string, rows []experiments.MPKIRow) {
+	fmt.Println(title)
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.MPKI {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	sort.Strings(names)
+	tw := newTW()
+	fmt.Fprintf(tw, "app\t%s\n", strings.Join(names, "\t"))
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s", r.App)
+		for _, nm := range names {
+			fmt.Fprintf(tw, "\t%.1f", r.MPKI[nm])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println()
+}
+
+func printLost(title string, rows []experiments.LostRow) {
+	fmt.Println(title)
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.Lost {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	sort.Strings(names)
+	tw := newTW()
+	fmt.Fprintf(tw, "app\t%s\n", strings.Join(names, "\t"))
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s", r.App)
+		for _, nm := range names {
+			fmt.Fprintf(tw, "\t%.0f", r.Lost[nm])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println()
+}

@@ -1,0 +1,106 @@
+// Command sweep runs parameter sweeps over FTQ depth, BTB size, or
+// icache size for one workload and mechanism, printing a CSV-ish table
+// suitable for plotting.
+//
+// Examples:
+//
+//	sweep -workload verilator -param ftq
+//	sweep -workload xgboost -param btb -mechanism udp
+//	sweep -workload mysql -param icache -values 16384,32768,65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "mysql", "application to simulate")
+		mech   = flag.String("mechanism", "baseline", "prefetch mechanism")
+		param  = flag.String("param", "ftq", "swept parameter: ftq, btb, icache")
+		values = flag.String("values", "", "comma-separated sweep values (defaults per param)")
+		instrs = flag.Uint64("instrs", 500_000, "instructions per run")
+		warmup = flag.Uint64("warmup", 500_000, "warmup instructions")
+	)
+	flag.Parse()
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+
+	grid, err := parseGrid(*param, *values)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	prog, err := sim.SharedImage(prof)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# workload=%s mechanism=%s param=%s\n", *name, *mech, *param)
+	fmt.Println("value,ipc,icache_mpki,timeliness,onpath_ratio,usefulness,mean_ftq_occ,lost_pki")
+	for _, v := range grid {
+		cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
+		cfg.MaxInstructions = *instrs
+		cfg.WarmupInstructions = *warmup
+		applyParam(&cfg, *param, v)
+		m, err := sim.NewMachineWithProgram(cfg, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		r := m.Run()
+		fmt.Printf("%d,%.4f,%.2f,%.3f,%.3f,%.3f,%.1f,%.0f\n",
+			v, r.IPC, r.IcacheMPKI, r.Timeliness, r.OnPathRatio, r.Usefulness, r.MeanFTQOcc, r.LostInstrsPKI)
+	}
+}
+
+func parseGrid(param, values string) ([]int, error) {
+	if values != "" {
+		var out []int
+		for _, s := range strings.Split(values, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q: %v", s, err)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	switch param {
+	case "ftq":
+		return []int{8, 12, 16, 24, 32, 48, 64, 96, 128}, nil
+	case "btb":
+		return []int{1024, 2048, 4096, 8192, 16384}, nil
+	case "icache":
+		return []int{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024}, nil
+	default:
+		return nil, fmt.Errorf("unknown param %q (ftq, btb, icache)", param)
+	}
+}
+
+func applyParam(cfg *sim.Config, param string, v int) {
+	switch param {
+	case "ftq":
+		cfg.FTQDepth = v
+	case "btb":
+		cfg.BTBEntries = v
+	case "icache":
+		cfg.ICacheBytes = v
+		if v == 40*1024 {
+			cfg.ICacheWays = 10
+		}
+	}
+}

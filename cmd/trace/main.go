@@ -1,0 +1,208 @@
+// Command trace records, inspects, and selects simpoints from synthetic
+// workload traces — the repository's stand-in for the paper's
+// DynamoRIO/Intel-PT + SimPoint tooling.
+//
+// Subcommands:
+//
+//	trace record -workload mysql -instrs 1000000 -o mysql.udpt
+//	trace info mysql.udpt
+//	trace simpoints -k 10 -interval 100000 mysql.udpt
+//	trace replay mysql.udpt          # re-simulate from the trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/trace"
+	"udpsim/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "simpoints":
+		err = cmdSimpoints(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: trace {record|info|simpoints|replay} [flags]")
+	os.Exit(2)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("workload", "mysql", "application to trace")
+	instrs := fs.Uint64("instrs", 1_000_000, "instructions to record")
+	salt := fs.Uint64("salt", 0, "executor salt (simpoint seed)")
+	out := fs.String("o", "", "output file (default <workload>.udpt)")
+	fs.Parse(args)
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".udpt"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.RecordN(f, prof, *salt, *instrs); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s (%d KiB, %.2f B/instr)\n",
+		*instrs, *name, path, info.Size()/1024, float64(info.Size())/float64(*instrs))
+	return nil
+}
+
+func openTrace(path string) (*trace.Reader, *workload.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, ok := workload.ByName(r.Workload())
+	if !ok {
+		return nil, nil, fmt.Errorf("trace references unknown workload %q", r.Workload())
+	}
+	if prof.Seed != r.Seed() {
+		return nil, nil, fmt.Errorf("trace seed %#x does not match current %s profile (%#x)",
+			r.Seed(), prof.Name, prof.Seed)
+	}
+	prog, err := sim.SharedImage(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, prog, nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info needs exactly one trace file")
+	}
+	r, prog, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := trace.Analyze(prog, r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload   %s (salt %d)\n", r.Workload(), r.Salt())
+	fmt.Printf("image      %s\n", prog)
+	fmt.Printf("dynamic    %v\n", &st)
+	return nil
+}
+
+func cmdSimpoints(args []string) error {
+	fs := flag.NewFlagSet("simpoints", flag.ExitOnError)
+	k := fs.Int("k", 10, "number of representative regions")
+	interval := fs.Uint64("interval", 100_000, "interval length in instructions")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("simpoints needs exactly one trace file")
+	}
+	r, _, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	intervals, err := trace.Intervals(r, *interval)
+	if err != nil {
+		return err
+	}
+	points := trace.Select(intervals, *k)
+	fmt.Printf("%d intervals of %d instructions → %d simpoints:\n",
+		len(intervals), *interval, len(points))
+	for _, p := range points {
+		fmt.Printf("  start %-12d weight %.3f\n", p.Start, p.Weight)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	mech := fs.String("mechanism", "baseline", "prefetch mechanism")
+	instrs := fs.Uint64("instrs", 0, "instructions to simulate (0 = trace length minus runahead margin)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay needs exactly one trace file")
+	}
+	r, prog, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prof := prog.Profile()
+	cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
+	cfg.WarmupInstructions = 0
+
+	// Count the trace to size the run (leaving the oracle's runahead
+	// margin), then reopen for the actual replay.
+	f2, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	r2, err := trace.NewReader(f2)
+	if err != nil {
+		return err
+	}
+	var length uint64
+	for {
+		if _, err := r.Read(); err != nil {
+			break
+		}
+		length++
+	}
+	const margin = 10_000
+	if length < 2*margin {
+		return fmt.Errorf("trace too short to replay (%d records)", length)
+	}
+	cfg.MaxInstructions = length - margin
+	if *instrs > 0 && *instrs < cfg.MaxInstructions {
+		cfg.MaxInstructions = *instrs
+	}
+
+	rp, err := trace.NewReplayer(prog, r2)
+	if err != nil {
+		return err
+	}
+	m, err := sim.NewMachineWithSource(cfg, prog, rp)
+	if err != nil {
+		return err
+	}
+	res := m.Run()
+	fmt.Printf("replayed %d instructions under %s: IPC %.4f, icache MPKI %.2f\n",
+		res.Instructions, res.Mechanism, res.IPC, res.IcacheMPKI)
+	return nil
+}

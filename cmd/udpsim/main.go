@@ -1,0 +1,130 @@
+// Command udpsim runs a single simulation: one workload, one mechanism,
+// one configuration. It prints the metrics the paper's figures are
+// built from.
+//
+// Examples:
+//
+//	udpsim -workload xgboost -mechanism udp
+//	udpsim -workload verilator -mechanism baseline -ftq 84 -instrs 5000000
+//	udpsim -workload clang -mechanism perfect-icache -simpoints 3
+//	udpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "mysql", "application to simulate (see -list)")
+		mech      = flag.String("mechanism", "baseline", "prefetch mechanism: baseline, no-prefetch, perfect-icache, uftq-aur, uftq-atr, uftq-atr-aur, udp, udp-infinite, eip")
+		ftq       = flag.Int("ftq", 32, "FTQ depth (baseline/UDP) or initial depth (UFTQ)")
+		btb       = flag.Int("btb", 8192, "BTB entries")
+		icache    = flag.Int("icache", 32*1024, "L1I size in bytes")
+		instrs    = flag.Uint64("instrs", 2_000_000, "instructions to simulate per simpoint")
+		warmup    = flag.Uint64("warmup", 200_000, "warmup instructions (excluded from stats)")
+		simpoints = flag.Int("simpoints", 1, "number of simulated regions")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		udpThresh = flag.Int("udp-threshold", 0, "override UDP confidence threshold")
+		udpHidden = flag.Bool("udp-hidden", true, "enable UDP hidden-taken-branch trigger")
+		btbFill   = flag.Bool("btb-fill", false, "enable predecode BTB fill from prefetched lines (Boomerang-style)")
+		verbose   = flag.Bool("v", false, "dump detailed statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "WORKLOAD\tFUNCS\tFOOTPRINT\tCHARACTER")
+		for _, p := range workload.All() {
+			prog, err := sim.SharedImage(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "udpsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d KiB\t%s\n", p.Name, p.Funcs,
+				prog.FootprintBytes()/1024, character(p))
+		}
+		tw.Flush()
+		return
+	}
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "udpsim: unknown workload %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+
+	cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
+	cfg.FTQDepth = *ftq
+	cfg.BTBEntries = *btb
+	cfg.ICacheBytes = *icache
+	if *icache == 40*1024 {
+		cfg.ICacheWays = 10 // 40 KiB needs 10 ways for power-of-two sets
+	}
+	cfg.MaxInstructions = *instrs
+	cfg.WarmupInstructions = *warmup
+	if *udpThresh > 0 {
+		cfg.UDP.ConfidenceThreshold = *udpThresh
+	}
+	if !*udpHidden {
+		cfg.UDP.HiddenBranchTableBits = 1 // effectively disabled (tiny, never confident)
+		cfg.UDP.DisableHiddenTrigger = true
+	}
+	cfg.PredecodeBTBFill = *btbFill
+
+	results, agg, err := sim.RunSimpoints(cfg, *simpoints)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "udpsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for i, r := range results {
+			fmt.Printf("simpoint %d: %v\n", i, r)
+		}
+	}
+	fmt.Printf("workload      %s\n", agg.Workload)
+	fmt.Printf("mechanism     %s\n", agg.Mechanism)
+	fmt.Printf("instructions  %d (%d simpoints)\n", agg.Instructions, len(results))
+	fmt.Printf("cycles        %d\n", agg.Cycles)
+	fmt.Printf("IPC           %.4f\n", agg.IPC)
+	fmt.Printf("icache MPKI   %.2f\n", agg.IcacheMPKI)
+	fmt.Printf("branch MPKI   %.2f (execute-time recoveries)\n", agg.BranchMPKI)
+	fmt.Printf("timeliness    %.3f  (icache hits / (icache+fill-buffer) demand hits)\n", agg.Timeliness)
+	fmt.Printf("on-path ratio %.3f  (on-path / all emitted prefetches)\n", agg.OnPathRatio)
+	fmt.Printf("usefulness    %.3f  (useful / (useful+useless) prefetches)\n", agg.Usefulness)
+	fmt.Printf("mean FTQ occ  %.1f (final depth %d)\n", agg.MeanFTQOcc, agg.FinalFTQDepth)
+	fmt.Printf("prefetches    %d emitted (%d on-path, %d off-path, %d dropped)\n",
+		agg.PrefetchesEmitted, agg.PrefetchesOnPath, agg.PrefetchesOffPath, agg.PrefetchesDropped)
+	fmt.Printf("lost instrs   %.1f per kilo-instruction\n", agg.LostInstrsPKI)
+	if agg.UDPStorage > 0 {
+		fmt.Printf("UDP storage   %d bytes\n", agg.UDPStorage)
+	}
+	if *verbose {
+		for _, r := range results {
+			if r.MechanismSummary != "" {
+				fmt.Printf("mechanism     %s\n", r.MechanismSummary)
+			}
+		}
+		fmt.Printf("resolution    mean %.1f cycles, p99 ≤ %d\n", agg.ResolutionMean, agg.ResolutionP99)
+		fmt.Printf("frontend      %+v\n", agg.FE)
+		fmt.Printf("backend       %+v\n", agg.BE)
+	}
+}
+
+func character(p workload.Profile) string {
+	switch {
+	case p.FracBiased < 0.2:
+		return "sea of unpredictable branches"
+	case p.FracBiased > 0.8:
+		return "huge predictable footprint"
+	default:
+		return "server-class mixed control flow"
+	}
+}

@@ -1,0 +1,51 @@
+package udpsim_test
+
+import (
+	"fmt"
+
+	"udpsim"
+)
+
+// ExampleRun simulates a small workload under baseline FDIP and prints
+// whether the run completed. (IPC values depend on the configuration,
+// so the example asserts only on determinism-friendly facts.)
+func ExampleRun() {
+	prof, _ := udpsim.WorkloadProfile("mysql")
+	prof.Funcs = 60 // shrink the synthetic image for example speed
+	prof.DispatchTargets = 40
+
+	cfg := udpsim.NewConfigFor(prof, udpsim.MechBaseline)
+	cfg.MaxInstructions = 50_000
+	cfg.WarmupInstructions = 10_000
+
+	res, err := udpsim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Instructions >= 50_000, res.IPC > 0)
+	// Output: true true
+}
+
+// ExampleSpeedup compares two mechanisms on the same workload.
+func ExampleSpeedup() {
+	prof, _ := udpsim.WorkloadProfile("mysql")
+	prof.Funcs = 60
+	prof.DispatchTargets = 40
+
+	base := udpsim.NewConfigFor(prof, udpsim.MechBaseline)
+	base.MaxInstructions = 50_000
+	base.WarmupInstructions = 10_000
+	perfect := base
+	perfect.Mechanism = udpsim.MechPerfectICache
+
+	b, _ := udpsim.Run(base)
+	p, _ := udpsim.Run(perfect)
+	fmt.Println(udpsim.Speedup(p, b) >= 0)
+	// Output: true
+}
+
+// ExampleWorkloads lists the paper's applications.
+func ExampleWorkloads() {
+	fmt.Println(len(udpsim.Workloads()))
+	// Output: 10
+}

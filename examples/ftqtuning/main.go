@@ -1,0 +1,60 @@
+// ftqtuning demonstrates UFTQ's dynamic fetch-target-queue sizing on a
+// workload with phase changes: the dispatcher's hot function set rotates
+// mid-run, and the always-on controller re-searches the FTQ depth. The
+// program prints a live adaptation timeline and the end-to-end
+// comparison against fixed depths.
+package main
+
+import (
+	"fmt"
+
+	"udpsim"
+)
+
+func main() {
+	// Build a phase-changing variant of the mysql profile: every 300k
+	// instructions the hot set rotates, shifting utility and timeliness.
+	prof, err := udpsim.WorkloadProfile("mysql")
+	if err != nil {
+		panic(err)
+	}
+	prof.PhaseLen = 300_000
+
+	fmt.Println("UFTQ-ATR-AUR adapting across workload phases (mysql, rotating hot set)")
+	fmt.Println()
+
+	// Fixed-depth references.
+	for _, depth := range []int{16, 32, 64} {
+		cfg := udpsim.NewConfigFor(prof, udpsim.MechBaseline)
+		cfg.FTQDepth = depth
+		cfg.MaxInstructions = 600_000
+		cfg.WarmupInstructions = 300_000
+		r, err := udpsim.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("fixed FTQ %-3d: IPC %.4f (MPKI %.1f)\n", depth, r.IPC, r.IcacheMPKI)
+	}
+
+	// UFTQ with a live adaptation timeline: step the machine manually
+	// and sample the controller's depth.
+	cfg := udpsim.NewConfigFor(prof, udpsim.MechUFTQATRAUR)
+	cfg.MaxInstructions = 600_000
+	cfg.WarmupInstructions = 300_000
+	m, err := udpsim.NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	fmt.Println("adaptation timeline (sampled every 100k instructions):")
+	m.RunInstructions(cfg.WarmupInstructions)
+	m.ResetStats()
+	for i := 0; i < 6; i++ {
+		m.RunInstructions(100_000)
+		fmt.Printf("  %4dk instrs: FTQ depth %-3d (QDAUR %d, QDATR %d, %d re-searches)\n",
+			(i+1)*100, m.UFTQ.Depth(), m.UFTQ.QDAUR(), m.UFTQ.QDATR(), m.UFTQ.Researches)
+	}
+	r := m.Snapshot()
+	fmt.Printf("\nUFTQ-ATR-AUR: IPC %.4f (MPKI %.1f), final depth %d\n",
+		r.IPC, r.IcacheMPKI, r.FinalFTQDepth)
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate one datacenter workload under baseline FDIP and
+// under UDP, and compare IPC and icache behaviour — the library's
+// 30-second tour.
+package main
+
+import (
+	"fmt"
+
+	"udpsim"
+)
+
+func main() {
+	const app = "xgboost"
+
+	base := udpsim.NewConfig(app, udpsim.MechBaseline)
+	base.MaxInstructions = 400_000
+	base.WarmupInstructions = 1_000_000
+
+	udp := base
+	udp.Mechanism = udpsim.MechUDP
+
+	fmt.Printf("simulating %s (this generates a %s-scale synthetic image first)...\n\n", app, "MB")
+
+	baseRes, err := udpsim.Run(base)
+	if err != nil {
+		panic(err)
+	}
+	udpRes, err := udpsim.Run(udp)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "FDIP-32", "UDP (8KB)")
+	fmt.Printf("%-22s %12.4f %12.4f\n", "IPC", baseRes.IPC, udpRes.IPC)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "icache MPKI", baseRes.IcacheMPKI, udpRes.IcacheMPKI)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "prefetch usefulness", baseRes.Usefulness, udpRes.Usefulness)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "timeliness", baseRes.Timeliness, udpRes.Timeliness)
+	fmt.Printf("%-22s %12d %12d\n", "prefetches emitted", baseRes.PrefetchesEmitted, udpRes.PrefetchesEmitted)
+	fmt.Printf("%-22s %12s %12d\n", "prefetches dropped", "-", udpRes.PrefetchesDropped)
+	fmt.Printf("\nUDP speedup: %+.2f%% (storage %d bytes)\n",
+		udpsim.Speedup(udpRes, baseRes)*100, udpRes.UDPStorage)
+}

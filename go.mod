@@ -1,0 +1,3 @@
+module udpsim
+
+go 1.22

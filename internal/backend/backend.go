@@ -1,0 +1,422 @@
+// Package backend models the out-of-order execution engine of the
+// simulated machine: decode/dispatch into a reorder buffer, a unified
+// reservation-station budget, per-class functional units, load/store
+// buffers with dcache access, execute-time branch resolution with
+// recovery, and in-order retirement.
+//
+// Fidelity is calibrated to what the paper's experiments observe: the
+// backend consumes instructions at a bounded rate (making FDIP's
+// runahead meaningful), branch resolution latency depends on the data
+// dependencies feeding the branch (making recovery timing realistic),
+// and icache-miss-induced fetch starvation surfaces as retire slots
+// lost to frontend stalls (paper Fig. 15).
+package backend
+
+import (
+	"udpsim/internal/frontend"
+	"udpsim/internal/isa"
+	"udpsim/internal/memory"
+)
+
+// Config sizes the backend (Table II defaults assembled by sim).
+type Config struct {
+	Width       int // decode/retire width
+	ROBSize     int
+	RSSize      int
+	ALUs        int
+	LoadPorts   int
+	StorePorts  int
+	LoadBuffer  int
+	StoreBuffer int
+	// MulLatency is the long-op execute latency.
+	MulLatency int
+	// DepProb is the probability (in 1/256ths) that an instruction
+	// depends on a recent older instruction's completion; the synthetic
+	// stand-in for register dependences.
+	DepProb256 int
+	// DepWindow is how far back (in ROB slots) a dependence may reach.
+	DepWindow int
+	// BranchResolveExtra models the fetch-to-execute pipeline depth a
+	// branch traverses before it can redirect the frontend; it widens
+	// the wrong-path window after a misprediction.
+	BranchResolveExtra int
+}
+
+// Stats aggregates backend events.
+type Stats struct {
+	Retired         uint64
+	RetiredBranches uint64
+	Cycles          uint64
+	ROBFullCycles   uint64
+	RSFullCycles    uint64
+	Recoveries      uint64
+	// EmptyROBCycles counts cycles with nothing to retire because the
+	// ROB was empty — pure frontend starvation.
+	EmptyROBCycles uint64
+	// RetireStallCycles counts cycles where retirement made no progress
+	// with a non-empty ROB.
+	RetireStallCycles uint64
+	Flushed           uint64 // instructions squashed by recoveries
+	WrongPathExecuted uint64 // wrong-path instructions that entered the ROB
+}
+
+type entryState uint8
+
+const (
+	stateDispatched entryState = iota
+	stateIssued
+	stateDone
+)
+
+type robEntry struct {
+	fi        *frontend.FrontInstr
+	state     entryState
+	readyAt   uint64 // execute completion cycle
+	depOffset int    // dependence distance in ROB slots (0 = none)
+	valid     bool
+	// gen disambiguates slot reuse for the compact scheduling lists.
+	gen uint32
+}
+
+// entryRef is a generation-checked reference into the ROB ring, letting
+// the scheduler keep compact lists (dispatched-awaiting-issue,
+// issued-awaiting-completion) instead of scanning the whole ROB every
+// cycle; references to flushed entries go stale and are dropped lazily.
+type entryRef struct {
+	idx int
+	gen uint32
+}
+
+// Backend is the out-of-order engine.
+type Backend struct {
+	cfg  Config
+	fe   *frontend.Frontend
+	hier *memory.Hierarchy
+
+	rob   []robEntry
+	head  int // oldest
+	tail  int // next free
+	count int
+
+	// Compact scheduler worklists (see entryRef).
+	pendingIssue []entryRef
+	inFlight     []entryRef
+
+	inFlightLoads  int
+	inFlightStores int
+	rsBusy         int // dispatched or issued but not yet done
+	rng            uint64
+
+	// RetireObserver, when non-nil, sees every retired instruction in
+	// program order (tooling and invariant tests).
+	RetireObserver func(*frontend.FrontInstr)
+
+	Stats Stats
+}
+
+// New wires a backend to its frontend and memory hierarchy.
+func New(cfg Config, fe *frontend.Frontend, hier *memory.Hierarchy) *Backend {
+	if cfg.Width <= 0 {
+		cfg.Width = 6
+	}
+	if cfg.ROBSize <= 0 {
+		cfg.ROBSize = 352
+	}
+	if cfg.RSSize <= 0 {
+		cfg.RSSize = 125
+	}
+	if cfg.ALUs <= 0 {
+		cfg.ALUs = 4
+	}
+	if cfg.LoadPorts <= 0 {
+		cfg.LoadPorts = 2
+	}
+	if cfg.StorePorts <= 0 {
+		cfg.StorePorts = 2
+	}
+	if cfg.LoadBuffer <= 0 {
+		cfg.LoadBuffer = 64
+	}
+	if cfg.StoreBuffer <= 0 {
+		cfg.StoreBuffer = 64
+	}
+	if cfg.MulLatency <= 0 {
+		cfg.MulLatency = 4
+	}
+	if cfg.DepWindow <= 0 {
+		cfg.DepWindow = 8
+	}
+	if cfg.DepProb256 == 0 {
+		cfg.DepProb256 = 56 // ~22% of instructions carry a modelled dependence
+	}
+	if cfg.BranchResolveExtra == 0 {
+		cfg.BranchResolveExtra = 10
+	}
+	return &Backend{
+		cfg:  cfg,
+		fe:   fe,
+		hier: hier,
+		rob:  make([]robEntry, cfg.ROBSize),
+		rng:  0x9e3779b97f4a7c15,
+	}
+}
+
+// ROBOccupancy returns the number of in-flight instructions.
+func (b *Backend) ROBOccupancy() int { return b.count }
+
+// Cycle advances the backend: retire, complete/resolve, issue, decode.
+func (b *Backend) Cycle(cycle uint64) {
+	b.Stats.Cycles++
+	b.retire(cycle)
+	b.complete(cycle)
+	b.issue(cycle)
+	b.decode(cycle)
+}
+
+// retire commits up to Width oldest completed instructions in order.
+func (b *Backend) retire(cycle uint64) {
+	if b.count == 0 {
+		b.Stats.EmptyROBCycles++
+		return
+	}
+	retired := 0
+	for retired < b.cfg.Width && b.count > 0 {
+		e := &b.rob[b.head]
+		if e.state != stateDone || e.readyAt > cycle {
+			break
+		}
+		fi := e.fi
+		if fi.OnPath {
+			b.Stats.Retired++
+			if fi.Static.IsBranch() {
+				b.Stats.RetiredBranches++
+			}
+			b.fe.OnRetire(fi, cycle)
+			if b.RetireObserver != nil {
+				b.RetireObserver(fi)
+			}
+		} else {
+			// Wrong-path instructions normally get squashed by the
+			// recovery flush before retiring; an off-path instruction
+			// reaching the ROB head can only happen if its divergence
+			// resolution is still in flight — hold it.
+			break
+		}
+		b.popHead()
+		retired++
+	}
+	if retired == 0 && b.count > 0 {
+		b.Stats.RetireStallCycles++
+	}
+}
+
+// complete marks executed instructions done and resolves diverging
+// branches (execute-time recovery).
+func (b *Backend) complete(cycle uint64) {
+	keep := b.inFlight[:0]
+	for n, ref := range b.inFlight {
+		e := &b.rob[ref.idx]
+		if !e.valid || e.gen != ref.gen || e.state != stateIssued {
+			continue // flushed by a recovery
+		}
+		if e.readyAt > cycle {
+			keep = append(keep, ref)
+			continue
+		}
+		e.state = stateDone
+		b.rsBusy--
+		if e.fi.Static.Class == isa.ClassLoad {
+			b.inFlightLoads--
+		}
+		if e.fi.Static.Class == isa.ClassStore {
+			b.inFlightStores--
+		}
+		if e.fi.Divergence != nil {
+			// Misprediction resolved at execute: recover. Everything
+			// younger is flushed; keep the rest of the worklist (stale
+			// refs drop lazily) and resume next cycle.
+			keep = append(keep, b.inFlight[n+1:]...)
+			b.inFlight = keep
+			b.recoverAt(ref.idx, cycle)
+			return
+		}
+	}
+	b.inFlight = keep
+}
+
+// recoverAt flushes all ROB entries younger than idx and resteers the
+// frontend.
+func (b *Backend) recoverAt(idx int, cycle uint64) {
+	b.Stats.Recoveries++
+	fi := b.rob[idx].fi
+	// Squash younger entries.
+	j := (idx + 1) % len(b.rob)
+	for b.tail != j {
+		k := (b.tail - 1 + len(b.rob)) % len(b.rob)
+		e := &b.rob[k]
+		if e.valid {
+			if e.state == stateIssued {
+				if e.fi.Static.Class == isa.ClassLoad {
+					b.inFlightLoads--
+				}
+				if e.fi.Static.Class == isa.ClassStore {
+					b.inFlightStores--
+				}
+			}
+			if e.state != stateDone {
+				b.rsBusy--
+			}
+			b.Stats.Flushed++
+			e.valid = false
+			b.count--
+		}
+		b.tail = k
+	}
+	b.fe.Recover(fi, cycle)
+}
+
+// issue moves dispatched instructions to execution, respecting
+// functional-unit ports, load/store buffers, and dependences.
+func (b *Backend) issue(cycle uint64) {
+	alu := b.cfg.ALUs
+	ld := b.cfg.LoadPorts
+	st := b.cfg.StorePorts
+	keep := b.pendingIssue[:0]
+	for _, ref := range b.pendingIssue {
+		idx := ref.idx
+		e := &b.rob[idx]
+		if !e.valid || e.gen != ref.gen || e.state != stateDispatched {
+			continue // flushed
+		}
+		// Dependence: wait for the older instruction's completion. The
+		// producer must still be in the ROB window behind this entry.
+		start := cycle
+		if e.depOffset > 0 && b.olderInWindow(idx, e.depOffset) {
+			depIdx := (idx - e.depOffset + len(b.rob)) % len(b.rob)
+			dep := &b.rob[depIdx]
+			if dep.valid {
+				if dep.state == stateDispatched {
+					keep = append(keep, ref) // producer not even issued
+					continue
+				}
+				if dep.readyAt > start {
+					start = dep.readyAt
+				}
+			}
+		}
+		var lat uint64
+		switch e.fi.Static.Class {
+		case isa.ClassLoad:
+			if ld == 0 || b.inFlightLoads >= b.cfg.LoadBuffer {
+				keep = append(keep, ref)
+				continue
+			}
+			ld--
+			b.inFlightLoads++
+			l, _ := b.hier.DataAccess(b.dataAddr(e.fi), start)
+			lat = l
+		case isa.ClassStore:
+			if st == 0 || b.inFlightStores >= b.cfg.StoreBuffer {
+				keep = append(keep, ref)
+				continue
+			}
+			st--
+			b.inFlightStores++
+			// Stores retire through the store buffer; model a short
+			// pipeline latency (the dcache write happens post-commit).
+			b.hier.DataAccess(b.dataAddr(e.fi), start)
+			lat = 1
+		case isa.ClassMul:
+			if alu == 0 {
+				keep = append(keep, ref)
+				continue
+			}
+			alu--
+			lat = uint64(b.cfg.MulLatency)
+		default: // ALU, branches, nops
+			if alu == 0 {
+				keep = append(keep, ref)
+				continue
+			}
+			alu--
+			lat = 1
+			if e.fi.Static.IsBranch() {
+				// Resolution happens at the end of the execute stage,
+				// a full pipeline traversal after decode.
+				lat += uint64(b.cfg.BranchResolveExtra)
+			}
+		}
+		e.state = stateIssued
+		e.readyAt = start + lat
+		b.inFlight = append(b.inFlight, ref)
+	}
+	b.pendingIssue = keep
+}
+
+// olderInWindow reports whether an entry depOffset slots older than idx
+// is still inside the live ROB window.
+func (b *Backend) olderInWindow(idx, depOffset int) bool {
+	// Distance from head to idx in ring order.
+	dist := (idx - b.head + len(b.rob)) % len(b.rob)
+	return depOffset <= dist
+}
+
+// dataAddr picks the memory address for a load/store: the resolved
+// oracle address on the correct path, the static representative address
+// on the wrong path (the same replay approximation Scarab's trace mode
+// makes, as the paper notes in Section III-A).
+func (b *Backend) dataAddr(fi *frontend.FrontInstr) isa.Addr {
+	if fi.OnPath {
+		return fi.Oracle.DataAddr
+	}
+	return fi.Static.DataAddr
+}
+
+// decode pulls instructions from the frontend's decode queue into the
+// ROB, invoking post-fetch correction per instruction.
+func (b *Backend) decode(cycle uint64) {
+	for n := 0; n < b.cfg.Width; n++ {
+		if b.count >= len(b.rob) {
+			b.Stats.ROBFullCycles++
+			return
+		}
+		if b.rsBusy >= b.cfg.RSSize {
+			b.Stats.RSFullCycles++
+			return
+		}
+		fi := b.fe.PopDecode()
+		if fi == nil {
+			return
+		}
+		if !fi.OnPath {
+			b.Stats.WrongPathExecuted++
+		}
+		resteered := b.fe.OnDecode(fi, cycle)
+		e := &b.rob[b.tail]
+		gen := e.gen + 1
+		*e = robEntry{fi: fi, state: stateDispatched, valid: true, gen: gen}
+		b.pendingIssue = append(b.pendingIssue, entryRef{idx: b.tail, gen: gen})
+		// Synthetic dependence assignment.
+		b.rng = b.rng*6364136223846793005 + 1442695040888963407
+		if int(b.rng>>56)&0xff < b.cfg.DepProb256 {
+			e.depOffset = 1 + int((b.rng>>32)%uint64(b.cfg.DepWindow))
+		}
+		b.tail = (b.tail + 1) % len(b.rob)
+		b.count++
+		b.rsBusy++
+		if resteered {
+			// Everything younger was flushed in the frontend; stop
+			// decoding this cycle.
+			return
+		}
+	}
+}
+
+func (b *Backend) popHead() {
+	// Preserve the slot's generation so stale worklist references can
+	// never alias a future occupant.
+	gen := b.rob[b.head].gen
+	b.rob[b.head] = robEntry{gen: gen}
+	b.head = (b.head + 1) % len(b.rob)
+	b.count--
+}

@@ -1,0 +1,195 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(16*1024, 6)
+	keys := make([]uint64, 0, 500)
+	r := uint64(12345)
+	for i := 0; i < 500; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		keys = append(keys, r)
+		f.Insert(r)
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for key %#x", k)
+		}
+	}
+}
+
+// Property: any inserted key set is fully contained (no false
+// negatives, the defining Bloom filter invariant).
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		fl := New(4096, 4)
+		for _, k := range keys {
+			fl.Insert(k)
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateNearDesign(t *testing.T) {
+	// 16k bits, 6 hashes is designed for ~1% FPR at ~1850 keys
+	// (m/n ≈ 8.9); measure at that load.
+	f := New(16*1024, 6)
+	r := uint64(99)
+	n := uint(1850)
+	for i := uint(0); i < n; i++ {
+		r = r*6364136223846793005 + 1
+		f.Insert(r)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		r = r*6364136223846793005 + 1
+		if f.Contains(r) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.3f far above 1%% design point", rate)
+	}
+}
+
+func TestOptimalParams(t *testing.T) {
+	// For p=0.01 the optimal k is ~6.6 → 7 (the paper rounds to 6 with
+	// its exact generator; accept 6-7).
+	m, k := OptimalParams(1000, 0.01)
+	if k < 6 || k > 7 {
+		t.Errorf("k = %d, want 6-7", k)
+	}
+	// m = -n ln p / ln2^2 ≈ 9.585 n
+	if math.Abs(float64(m)-9585) > 10 {
+		t.Errorf("m = %d, want ≈ 9585", m)
+	}
+}
+
+func TestOptimalParamsPanicsOnBadRate(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for p=%v", p)
+				}
+			}()
+			OptimalParams(10, p)
+		}()
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := New(1024, 4)
+	f.Insert(42)
+	if !f.Contains(42) {
+		t.Fatal("lost key")
+	}
+	if f.Count() != 1 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	f.Clear()
+	if f.Contains(42) {
+		t.Error("key survived Clear")
+	}
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Errorf("Clear left state: count %d fill %v", f.Count(), f.FillRatio())
+	}
+}
+
+func TestFillRatioAndFull(t *testing.T) {
+	f := New(1024, 2)
+	if f.Full() {
+		t.Error("empty filter reports full")
+	}
+	r := uint64(7)
+	for i := 0; i < 2000 && !f.Full(); i++ {
+		r = r*2862933555777941757 + 3037000493
+		f.Insert(r)
+	}
+	if !f.Full() {
+		t.Error("filter never saturated")
+	}
+	if fr := f.FillRatio(); fr < 0.5 || fr > 1 {
+		t.Errorf("fill ratio %v out of range at saturation", fr)
+	}
+	if f.EstimatedFPR() <= 0 {
+		t.Errorf("estimated FPR should be positive when loaded")
+	}
+}
+
+func TestSizingAccessors(t *testing.T) {
+	f := New(16*1024, 6)
+	if f.K() != 6 {
+		t.Errorf("K = %d", f.K())
+	}
+	if f.Bits() < 16*1024 {
+		t.Errorf("Bits = %d < requested", f.Bits())
+	}
+	if f.SizeBytes() != f.Bits()/8 {
+		t.Errorf("SizeBytes inconsistent with Bits")
+	}
+}
+
+func TestNewForFPR(t *testing.T) {
+	f := NewForFPR(16*1024, 1850)
+	if f.K() < 4 || f.K() > 9 {
+		t.Errorf("NewForFPR picked k=%d, want near ln2·m/n ≈ 6", f.K())
+	}
+	// Degenerate inputs must not panic.
+	if NewForFPR(64, 0) == nil {
+		t.Error("nil filter")
+	}
+}
+
+func TestNewPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for k=0")
+		}
+	}()
+	New(1024, 0)
+}
+
+func TestBankPartitioning(t *testing.T) {
+	// Each hash indexes its own bank; with k banks of b bits, total
+	// bits is k*b and rounding keeps whole words.
+	f := New(100, 3) // deliberately awkward size
+	if f.Bits()%64 != 0 {
+		t.Errorf("bits %d not word-aligned", f.Bits())
+	}
+	if f.Bits() < 3*64 {
+		t.Errorf("bits %d below k*64 minimum", f.Bits())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := New(16*1024, 6)
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(16*1024, 6)
+	for i := 0; i < 1000; i++ {
+		f.Insert(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

@@ -1,0 +1,100 @@
+// Package bp implements the conditional-branch direction predictors of
+// the simulated machine. The primary predictor is a TAGE-SC-L-style
+// design (tagged geometric-history tables, a loop predictor, and a
+// statistical corrector) that exposes the High/Medium/Low prediction
+// confidence UDP consumes (Section IV-B of the paper: the off-path
+// confidence counter is incremented by 2/1/0 for low/medium/high
+// confidence predictions).
+//
+// Speculative history: the decoupled frontend predicts far ahead of
+// resolution, so the global history it hashes with is speculative. The
+// frontend snapshots history state per predicted branch and restores it
+// on recovery, mirroring hardware checkpointing.
+package bp
+
+import "udpsim/internal/isa"
+
+// Confidence is the predictor's self-assessed reliability for one
+// prediction.
+type Confidence uint8
+
+// Confidence levels.
+const (
+	Low Confidence = iota
+	Medium
+	High
+)
+
+func (c Confidence) String() string {
+	switch c {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return "conf(?)"
+	}
+}
+
+// UDPIncrement returns the amount UDP adds to its off-path confidence
+// counter for a prediction of this confidence (paper: low=2, medium=1,
+// high=0).
+func (c Confidence) UDPIncrement() int {
+	switch c {
+	case Low:
+		return 2
+	case Medium:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Prediction is the outcome of a direction lookup.
+type Prediction struct {
+	Taken bool
+	Conf  Confidence
+	// provider bookkeeping for training (opaque to callers).
+	provider  int  // table index, -1 = bimodal
+	altTaken  bool // alternate prediction
+	provTaken bool // provider component's own prediction (pre-SC/loop)
+	provCtr   int8
+	loopHit   bool // loop predictor provided the final direction
+	scSum     int32
+	scIdxs    [scTables]uint32
+	tags      [maxTables]uint16
+	idxs      [maxTables]uint32
+	bimIdx    uint32
+}
+
+// HistState is a snapshot of speculative global history, cheap enough to
+// store per in-flight branch.
+type HistState struct {
+	H [2]uint64 // up to 128 bits of direction history
+	// PathHist mixes low target bits of taken branches.
+	PathHist uint64
+}
+
+// DirectionPredictor is the interface the frontend drives.
+//
+// Predict must be followed by SpecUpdate for the same branch (in
+// prediction order); Train is called in program order at resolution.
+// Restore rewinds speculative state to a snapshot taken earlier.
+type DirectionPredictor interface {
+	Predict(pc isa.Addr) Prediction
+	// SpecUpdate advances speculative history with the predicted
+	// direction of the branch at pc.
+	SpecUpdate(pc isa.Addr, taken bool)
+	// Snapshot captures speculative history state.
+	Snapshot() HistState
+	// Restore rewinds speculative history to s and re-synchronizes any
+	// internal speculative structures (e.g. loop iteration counters).
+	Restore(s HistState)
+	// Train updates tables with the resolved outcome. pred must be the
+	// Prediction returned by Predict for this branch instance.
+	Train(pc isa.Addr, taken bool, pred Prediction)
+	// Name identifies the predictor in reports.
+	Name() string
+}

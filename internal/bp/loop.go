@@ -1,0 +1,125 @@
+package bp
+
+import "udpsim/internal/isa"
+
+// loopPredictor is the "L" of TAGE-SC-L: it detects conditional branches
+// that behave as loop back-edges with a constant trip count and, once
+// confident, predicts the final (not-taken) iteration exactly — a case
+// counter-based predictors systematically miss.
+//
+// Iteration counting has two copies per entry: an architectural count
+// advanced at train time (program order) and a speculative count
+// advanced at predict time by the runahead frontend. On recovery the
+// speculative copies resynchronize to the architectural ones — the
+// modelling equivalent of flushing the speculative loop state with the
+// pipeline.
+type loopPredictor struct {
+	entries []loopEntry
+}
+
+type loopEntry struct {
+	tag      uint32
+	trip     uint16 // learned trip count (taken iterations before exit)
+	archIter uint16
+	specIter uint16
+	conf     uint8 // confidence: predicts only when saturated
+	age      uint8
+	valid    bool
+}
+
+const loopConfMax = 3
+
+func newLoopPredictor(n int) *loopPredictor {
+	return &loopPredictor{entries: make([]loopEntry, n)}
+}
+
+func (lp *loopPredictor) index(pc isa.Addr) (int, uint32) {
+	x := uint64(pc) >> 2
+	x ^= x >> 13
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return int(x % uint64(len(lp.entries))), uint32(x >> 32)
+}
+
+// predict returns (direction, hit). It hits only for confident entries.
+func (lp *loopPredictor) predict(pc isa.Addr) (bool, bool) {
+	i, tag := lp.index(pc)
+	e := &lp.entries[i]
+	if !e.valid || e.tag != tag || e.conf < loopConfMax {
+		return false, false
+	}
+	// Predict taken while inside the loop, not-taken on the exit
+	// iteration.
+	return e.specIter < e.trip, true
+}
+
+// specAdvance advances the speculative iteration counter at predict time.
+func (lp *loopPredictor) specAdvance(pc isa.Addr, taken bool) {
+	i, tag := lp.index(pc)
+	e := &lp.entries[i]
+	if !e.valid || e.tag != tag {
+		return
+	}
+	if taken {
+		if e.specIter < ^uint16(0) {
+			e.specIter++
+		}
+	} else {
+		e.specIter = 0
+	}
+}
+
+// restore resynchronizes all speculative iteration counters to the
+// architectural state after a pipeline flush.
+func (lp *loopPredictor) restore() {
+	for i := range lp.entries {
+		lp.entries[i].specIter = lp.entries[i].archIter
+	}
+}
+
+// train observes the resolved outcome in program order.
+func (lp *loopPredictor) train(pc isa.Addr, taken bool, predicted bool) {
+	i, tag := lp.index(pc)
+	e := &lp.entries[i]
+	if !e.valid || e.tag != tag {
+		// Allocate on a not-taken outcome (candidate loop exit) for
+		// branches that look loop-like; age out the incumbent first.
+		if e.valid && e.age > 0 {
+			e.age--
+			return
+		}
+		*e = loopEntry{tag: tag, valid: true, age: 7}
+		return
+	}
+	if taken {
+		if e.archIter < ^uint16(0) {
+			e.archIter++
+		}
+		return
+	}
+	// Loop exit: compare observed trip count with the learned one.
+	observed := e.archIter
+	e.archIter = 0
+	switch {
+	case e.trip == observed && observed > 0:
+		if e.conf < loopConfMax {
+			e.conf++
+		}
+		if e.age < 255 {
+			e.age++
+		}
+	case observed == 0:
+		// Degenerate: never-taken branch, not a loop.
+		e.conf = 0
+	default:
+		// Trip count changed: relearn.
+		e.trip = observed
+		e.conf = 0
+	}
+}
+
+func (lp *loopPredictor) storageBits() uint64 {
+	// tag(32 modelled, ~14 in hardware) + trip(16) + 2 iters(32) +
+	// conf(2) + age(8): charge the hardware-realistic 62 bits.
+	return uint64(len(lp.entries)) * 62
+}

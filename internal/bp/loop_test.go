@@ -1,0 +1,103 @@
+package bp
+
+import (
+	"testing"
+
+	"udpsim/internal/isa"
+)
+
+// driveLoop feeds the loop predictor n complete loop executions with
+// the given trip count (trip-1 taken back-edges, one not-taken exit),
+// keeping speculative and architectural state in lockstep.
+func driveLoop(lp *loopPredictor, pc isa.Addr, trips, n int) {
+	for r := 0; r < n; r++ {
+		for i := 0; i < trips; i++ {
+			taken := i < trips-1
+			pred, _ := lp.predict(pc)
+			lp.specAdvance(pc, taken)
+			lp.train(pc, taken, pred)
+		}
+	}
+}
+
+func TestLoopPredictorLocksOn(t *testing.T) {
+	lp := newLoopPredictor(16)
+	const pc = 0x401000
+	const trips = 9
+	driveLoop(lp, pc, trips, 8)
+	// Now confident: simulate one more loop execution and check every
+	// prediction.
+	for i := 0; i < trips; i++ {
+		want := i < trips-1
+		got, hit := lp.predict(pc)
+		if !hit {
+			t.Fatalf("iteration %d: no hit after training", i)
+		}
+		if got != want {
+			t.Fatalf("iteration %d: predicted %v, want %v", i, got, want)
+		}
+		lp.specAdvance(pc, want)
+		lp.train(pc, want, got)
+	}
+}
+
+func TestLoopPredictorRelearnsTripChange(t *testing.T) {
+	lp := newLoopPredictor(16)
+	const pc = 0x402000
+	driveLoop(lp, pc, 6, 8)
+	if _, hit := lp.predict(pc); !hit {
+		t.Fatal("not confident after stable trips")
+	}
+	// Trip count changes: confidence must drop (no hit) until
+	// re-established.
+	driveLoop(lp, pc, 11, 1)
+	if _, hit := lp.predict(pc); hit {
+		t.Error("still confident right after trip change")
+	}
+	driveLoop(lp, pc, 11, 8)
+	if _, hit := lp.predict(pc); !hit {
+		t.Error("never relearned the new trip count")
+	}
+}
+
+func TestLoopPredictorRestoreResyncs(t *testing.T) {
+	lp := newLoopPredictor(16)
+	const pc = 0x403000
+	const trips = 7
+	driveLoop(lp, pc, trips, 8)
+	// Take two speculative (wrong-path) advances without training, then
+	// restore: the speculative iterator must equal the architectural
+	// one again.
+	i, tag := lp.index(pc)
+	_ = tag
+	before := lp.entries[i].specIter
+	lp.specAdvance(pc, true)
+	lp.specAdvance(pc, true)
+	if lp.entries[i].specIter == before {
+		t.Fatal("speculative iterator did not advance")
+	}
+	lp.restore()
+	if lp.entries[i].specIter != lp.entries[i].archIter {
+		t.Error("restore did not resync speculative state")
+	}
+}
+
+func TestLoopPredictorNeverTakenNotLoop(t *testing.T) {
+	lp := newLoopPredictor(16)
+	const pc = 0x404000
+	for i := 0; i < 50; i++ {
+		pred, _ := lp.predict(pc)
+		lp.specAdvance(pc, false)
+		lp.train(pc, false, pred)
+	}
+	if _, hit := lp.predict(pc); hit {
+		t.Error("never-taken branch classified as a loop")
+	}
+}
+
+func TestLoopPredictorStorage(t *testing.T) {
+	lp := newLoopPredictor(64)
+	if lp.storageBits() == 0 {
+		t.Error("zero storage")
+	}
+}

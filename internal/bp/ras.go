@@ -1,0 +1,65 @@
+package bp
+
+import "udpsim/internal/isa"
+
+// RAS is the return address stack consulted by the frontend for return
+// targets. Like global history, it is speculative: the frontend pushes
+// and pops at predict time and checkpoints (top, content hash) per
+// branch so a recovery can rewind. The model checkpoints the whole
+// top-of-stack pointer and relies on the circular buffer retaining
+// overwritten entries, the standard lightweight hardware recovery.
+type RAS struct {
+	stack []isa.Addr
+	top   int // index of next free slot
+
+	Pushes     uint64
+	Pops       uint64
+	Underflows uint64
+}
+
+// NewRAS builds a return-address stack with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("bp: RAS needs at least one entry")
+	}
+	return &RAS{stack: make([]isa.Addr, n)}
+}
+
+// Push records a return address at predict time of a call.
+func (r *RAS) Push(ret isa.Addr) {
+	r.stack[r.top%len(r.stack)] = ret
+	r.top++
+	r.Pushes++
+}
+
+// Pop predicts the target of a return. An empty stack returns 0 (the
+// frontend then treats the return as a BTB-style unknown target).
+func (r *RAS) Pop() isa.Addr {
+	if r.top == 0 {
+		r.Underflows++
+		return 0
+	}
+	r.top--
+	r.Pops++
+	return r.stack[r.top%len(r.stack)]
+}
+
+// Peek returns the would-be Pop value without modifying the stack.
+func (r *RAS) Peek() isa.Addr {
+	if r.top == 0 {
+		return 0
+	}
+	return r.stack[(r.top-1)%len(r.stack)]
+}
+
+// Depth returns the current logical depth (may exceed capacity after
+// wrap, in which case older entries have been overwritten).
+func (r *RAS) Depth() int { return r.top }
+
+// Snapshot captures the stack pointer for recovery.
+func (r *RAS) Snapshot() int { return r.top }
+
+// Restore rewinds the stack pointer. Entries overwritten since the
+// snapshot are unrecoverable, matching hardware behaviour on deep
+// wrong-path call chains.
+func (r *RAS) Restore(top int) { r.top = top }

@@ -1,0 +1,96 @@
+package bp
+
+import (
+	"testing"
+
+	"udpsim/internal/isa"
+)
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(0x1000)
+	r.Push(0x2000)
+	if r.Peek() != 0x2000 {
+		t.Errorf("Peek = %v", r.Peek())
+	}
+	if got := r.Pop(); got != 0x2000 {
+		t.Errorf("Pop = %v", got)
+	}
+	if got := r.Pop(); got != 0x1000 {
+		t.Errorf("Pop = %v", got)
+	}
+	if r.Depth() != 0 {
+		t.Errorf("Depth = %d", r.Depth())
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	r := NewRAS(4)
+	if got := r.Pop(); got != 0 {
+		t.Errorf("underflow Pop = %v", got)
+	}
+	if r.Underflows != 1 {
+		t.Errorf("Underflows = %d", r.Underflows)
+	}
+	if r.Peek() != 0 {
+		t.Errorf("empty Peek = %v", r.Peek())
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	r := NewRAS(16)
+	r.Push(0x1000)
+	snap := r.Snapshot()
+	// Speculative wrong-path calls/returns.
+	r.Push(0x2000)
+	r.Push(0x3000)
+	r.Pop()
+	r.Restore(snap)
+	if got := r.Pop(); got != 0x1000 {
+		t.Errorf("after restore Pop = %v", got)
+	}
+}
+
+func TestRASWrapOverwritesOldest(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(0x1000)
+	r.Push(0x2000)
+	r.Push(0x3000) // overwrites 0x1000's slot
+	if got := r.Pop(); got != 0x3000 {
+		t.Errorf("Pop = %v", got)
+	}
+	if got := r.Pop(); got != 0x2000 {
+		t.Errorf("Pop = %v", got)
+	}
+	// The third pop returns the overwritten slot's current content
+	// (0x3000's slot), modelling deep-call-chain corruption, not a
+	// correct value.
+	got := r.Pop()
+	if got != 0x3000 {
+		t.Errorf("wrapped Pop = %v (expected stale overwrite)", got)
+	}
+}
+
+func TestRASDeepCallChain(t *testing.T) {
+	r := NewRAS(32)
+	var addrs []isa.Addr
+	for i := 0; i < 20; i++ {
+		a := isa.Addr(0x400000 + i*0x100)
+		addrs = append(addrs, a)
+		r.Push(a)
+	}
+	for i := 19; i >= 0; i-- {
+		if got := r.Pop(); got != addrs[i] {
+			t.Fatalf("Pop %d = %v, want %v", i, got, addrs[i])
+		}
+	}
+}
+
+func TestRASPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewRAS(0)
+}

@@ -1,0 +1,83 @@
+package bp
+
+import "udpsim/internal/isa"
+
+// scTables is the number of statistical-corrector component tables.
+const scTables = 4
+
+// statCorrector is a small GEHL-style statistical corrector: a few
+// tables of signed counters indexed by pc hashed with different history
+// slices, summed with the provider's direction as a bias. It flips weak
+// TAGE predictions that statistically correlate the other way — the "SC"
+// stage of TAGE-SC-L.
+type statCorrector struct {
+	tables  [scTables][]int8
+	lengths [scTables]uint
+	bits    uint
+}
+
+func newStatCorrector() *statCorrector {
+	sc := &statCorrector{
+		lengths: [scTables]uint{0, 5, 14, 32},
+		bits:    10,
+	}
+	for i := range sc.tables {
+		sc.tables[i] = make([]int8, 1<<sc.bits)
+	}
+	return sc
+}
+
+func (sc *statCorrector) index(pc isa.Addr, h *HistState, t int) uint32 {
+	var hb uint64
+	if l := sc.lengths[t]; l > 0 {
+		hb = h.H[0] & (1<<l - 1)
+	}
+	x := uint64(pc)>>2 ^ hb*0x9e3779b97f4a7c15 ^ uint64(t)<<11
+	x ^= x >> 21
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	return uint32(x) & (1<<sc.bits - 1)
+}
+
+// sum computes the corrector's signed vote (>= 0 means taken), recording
+// the consulted indices into p so train touches the same counters. The
+// provider's direction contributes a centering bias so the SC only
+// overrides with real evidence.
+func (sc *statCorrector) sum(pc isa.Addr, h *HistState, provTaken bool, p *Prediction) int32 {
+	var s int32
+	for t := range sc.tables {
+		i := sc.index(pc, h, t)
+		p.scIdxs[t] = i
+		s += 2*int32(sc.tables[t][i]) + 1
+	}
+	if provTaken {
+		s += 8
+	} else {
+		s -= 8
+	}
+	return s
+}
+
+// train updates counters toward the outcome when the vote was weak or
+// wrong (threshold-based update, as in GEHL), using the indices recorded
+// at predict time.
+func (sc *statCorrector) train(taken bool, p *Prediction) {
+	const threshold = 16
+	wrong := (p.scSum >= 0) != taken
+	weak := p.scSum < threshold && p.scSum > -threshold
+	if !wrong && !weak {
+		return
+	}
+	for t := range sc.tables {
+		c := &sc.tables[t][p.scIdxs[t]]
+		if taken {
+			*c = satInc8(*c, 31)
+		} else {
+			*c = satDec8(*c, -32)
+		}
+	}
+}
+
+func (sc *statCorrector) storageBits() uint64 {
+	return uint64(scTables) * uint64(1<<sc.bits) * 6
+}

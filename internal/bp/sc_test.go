@@ -1,0 +1,79 @@
+package bp
+
+import "testing"
+
+// TestSCCorrectsWeakProvider: a branch whose direction correlates with
+// history in a way the provider missed gets corrected by the
+// statistical corrector after training.
+func TestSCTrainsTowardOutcome(t *testing.T) {
+	sc := newStatCorrector()
+	var h HistState
+	const pc = 0x401000
+
+	// Initially the vote follows the provider bias.
+	var p Prediction
+	sum := sc.sum(pc, &h, false, &p)
+	if sum >= 0 {
+		t.Fatalf("initial vote %d should follow the not-taken provider bias", sum)
+	}
+
+	// Train taken outcomes against the same context until the vote
+	// flips despite the provider's not-taken bias.
+	for i := 0; i < 64; i++ {
+		var q Prediction
+		q.scSum = sc.sum(pc, &h, false, &q)
+		sc.train(true, &q)
+	}
+	var q Prediction
+	sum = sc.sum(pc, &h, false, &q)
+	if sum < 0 {
+		t.Errorf("vote %d never flipped after consistent taken outcomes", sum)
+	}
+}
+
+// TestSCThresholdStopsTraining: once the vote is strong and correct,
+// counters stop moving (GEHL threshold update).
+func TestSCThresholdStopsTraining(t *testing.T) {
+	sc := newStatCorrector()
+	var h HistState
+	const pc = 0x402000
+	for i := 0; i < 200; i++ {
+		var q Prediction
+		q.scSum = sc.sum(pc, &h, true, &q)
+		sc.train(true, &q)
+	}
+	var q Prediction
+	before := sc.sum(pc, &h, true, &q)
+	q.scSum = before
+	sc.train(true, &q)
+	var q2 Prediction
+	after := sc.sum(pc, &h, true, &q2)
+	if before != after {
+		t.Errorf("saturated+correct vote kept training: %d → %d", before, after)
+	}
+}
+
+// TestSCContextSensitive: different histories index different counters.
+func TestSCContextSensitive(t *testing.T) {
+	sc := newStatCorrector()
+	const pc = 0x403000
+	hA := HistState{H: [2]uint64{0xAAAA, 0}}
+	hB := HistState{H: [2]uint64{0x5555, 0}}
+	for i := 0; i < 64; i++ {
+		var q Prediction
+		q.scSum = sc.sum(pc, &hA, false, &q)
+		sc.train(true, &q)
+	}
+	var qa, qb Prediction
+	sumA := sc.sum(pc, &hA, false, &qa)
+	sumB := sc.sum(pc, &hB, false, &qb)
+	if sumA <= sumB {
+		t.Errorf("trained context (%d) not above untrained (%d)", sumA, sumB)
+	}
+}
+
+func TestSCStorage(t *testing.T) {
+	if newStatCorrector().storageBits() == 0 {
+		t.Error("zero storage")
+	}
+}

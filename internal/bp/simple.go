@@ -1,0 +1,109 @@
+package bp
+
+import "udpsim/internal/isa"
+
+// Gshare is the classic global-history XOR predictor, provided as a
+// lighter-weight comparison point and as a test oracle for the
+// DirectionPredictor contract.
+type Gshare struct {
+	table []int8 // 2-bit counters: -2..1
+	bits  uint
+	hist  HistState
+}
+
+// NewGshare builds a gshare predictor with 2^bits counters.
+func NewGshare(bits uint) *Gshare {
+	g := &Gshare{table: make([]int8, 1<<bits), bits: bits}
+	for i := range g.table {
+		g.table[i] = -1 // weakly not-taken
+	}
+	return g
+}
+
+// Name implements DirectionPredictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+func (g *Gshare) index(pc isa.Addr) uint32 {
+	return uint32(uint64(pc)>>2^g.hist.H[0]) & (1<<g.bits - 1)
+}
+
+// Predict implements DirectionPredictor.
+func (g *Gshare) Predict(pc isa.Addr) Prediction {
+	i := g.index(pc)
+	c := g.table[i]
+	conf := Low
+	if c <= -2 || c >= 1 {
+		conf = Medium
+	}
+	return Prediction{Taken: c >= 0, Conf: conf, bimIdx: i}
+}
+
+// SpecUpdate implements DirectionPredictor.
+func (g *Gshare) SpecUpdate(_ isa.Addr, taken bool) {
+	g.hist.H[0] = g.hist.H[0]<<1 | b2u(taken)
+}
+
+// Snapshot implements DirectionPredictor.
+func (g *Gshare) Snapshot() HistState { return g.hist }
+
+// Restore implements DirectionPredictor.
+func (g *Gshare) Restore(s HistState) { g.hist = s }
+
+// Train implements DirectionPredictor.
+func (g *Gshare) Train(_ isa.Addr, taken bool, pred Prediction) {
+	c := &g.table[pred.bimIdx]
+	if taken {
+		*c = satInc8(*c, 1)
+	} else {
+		*c = satDec8(*c, -2)
+	}
+}
+
+// Bimodal is a per-PC 2-bit-counter predictor with no history — the
+// weakest baseline and the base component of TAGE.
+type Bimodal struct {
+	table []int8
+	bits  uint
+}
+
+// NewBimodal builds a bimodal predictor with 2^bits counters.
+func NewBimodal(bits uint) *Bimodal {
+	b := &Bimodal{table: make([]int8, 1<<bits), bits: bits}
+	for i := range b.table {
+		b.table[i] = -1 // weakly not-taken
+	}
+	return b
+}
+
+// Name implements DirectionPredictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc isa.Addr) Prediction {
+	i := uint32(uint64(pc)>>2) & (1<<b.bits - 1)
+	c := b.table[i]
+	conf := Low
+	if c <= -2 || c >= 1 {
+		conf = Medium
+	}
+	return Prediction{Taken: c >= 0, Conf: conf, bimIdx: i}
+}
+
+// SpecUpdate implements DirectionPredictor (no history to update).
+func (b *Bimodal) SpecUpdate(isa.Addr, bool) {}
+
+// Snapshot implements DirectionPredictor.
+func (b *Bimodal) Snapshot() HistState { return HistState{} }
+
+// Restore implements DirectionPredictor.
+func (b *Bimodal) Restore(HistState) {}
+
+// Train implements DirectionPredictor.
+func (b *Bimodal) Train(_ isa.Addr, taken bool, pred Prediction) {
+	c := &b.table[pred.bimIdx]
+	if taken {
+		*c = satInc8(*c, 1)
+	} else {
+		*c = satDec8(*c, -2)
+	}
+}

@@ -1,0 +1,393 @@
+package bp
+
+import "udpsim/internal/isa"
+
+// maxTables bounds the number of tagged components a TAGE instance may
+// configure (sized into Prediction for allocation-free lookups).
+const maxTables = 8
+
+// TageConfig sizes the TAGE-SC-L predictor.
+type TageConfig struct {
+	// TableBits is log2(entries) of each tagged table.
+	TableBits uint
+	// BimodalBits is log2(entries) of the base bimodal table.
+	BimodalBits uint
+	// HistLengths gives the geometric history lengths, shortest first.
+	// Length must be <= 128 and the slice at most maxTables long.
+	HistLengths []uint
+	// TagBits is the partial-tag width of tagged entries.
+	TagBits uint
+	// UseSC enables the statistical corrector stage.
+	UseSC bool
+	// UseLoop enables the loop predictor stage.
+	UseLoop bool
+}
+
+// DefaultTageConfig returns a 64KB-class TAGE-SC-L configuration
+// comparable to the paper's Table II predictor.
+func DefaultTageConfig() TageConfig {
+	return TageConfig{
+		TableBits:   11,
+		BimodalBits: 13,
+		HistLengths: []uint{4, 8, 15, 27, 44, 76, 128},
+		TagBits:     11,
+		UseSC:       true,
+		UseLoop:     true,
+	}
+}
+
+type tageEntry struct {
+	tag uint16
+	ctr int8  // 3-bit signed: -4..3; taken iff ctr >= 0
+	u   uint8 // 2-bit usefulness
+}
+
+// Tage is a TAGE-SC-L-style conditional branch predictor.
+type Tage struct {
+	cfg        TageConfig
+	tables     [][]tageEntry
+	bimodal    []int8 // 2-bit: -2..1; taken iff >= 0
+	hist       HistState
+	useAltOnNA int8 // 4-bit signed counter
+	tick       uint32
+	sc         *statCorrector
+	loop       *loopPredictor
+	rng        uint64
+
+	// Stats
+	Lookups      uint64
+	ProviderHits [maxTables + 1]uint64 // index len(tables) = bimodal
+}
+
+// NewTage builds a TAGE-SC-L predictor.
+func NewTage(cfg TageConfig) *Tage {
+	if len(cfg.HistLengths) == 0 || len(cfg.HistLengths) > maxTables {
+		panic("bp: invalid TAGE history configuration")
+	}
+	for _, l := range cfg.HistLengths {
+		if l == 0 || l > 128 {
+			panic("bp: TAGE history length out of range")
+		}
+	}
+	t := &Tage{
+		cfg:     cfg,
+		tables:  make([][]tageEntry, len(cfg.HistLengths)),
+		bimodal: make([]int8, 1<<cfg.BimodalBits),
+		rng:     0x2545f4914f6cdd1d,
+	}
+	// Initialize the base predictor weakly not-taken: cold branches are
+	// statically more likely to fall through, and a taken-biased cold
+	// predictor would spuriously redirect post-fetch-corrected fetch.
+	for i := range t.bimodal {
+		t.bimodal[i] = -1
+	}
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
+	}
+	if cfg.UseSC {
+		t.sc = newStatCorrector()
+	}
+	if cfg.UseLoop {
+		t.loop = newLoopPredictor(64)
+	}
+	return t
+}
+
+// Name implements DirectionPredictor.
+func (t *Tage) Name() string { return "tage-sc-l" }
+
+// histBits extracts the low n bits of speculative direction history
+// folded into a compact word.
+func (t *Tage) histBits(n uint) uint64 {
+	if n <= 64 {
+		if n == 64 {
+			return t.hist.H[0]
+		}
+		return t.hist.H[0] & (1<<n - 1)
+	}
+	// fold the upper word in
+	hi := t.hist.H[1] & (1<<(n-64) - 1)
+	return t.hist.H[0] ^ (hi * 0x9e3779b97f4a7c15)
+}
+
+func (t *Tage) index(pc isa.Addr, table int) uint32 {
+	h := t.histBits(t.cfg.HistLengths[table])
+	x := uint64(pc)>>2 ^ h ^ h>>uint(t.cfg.TableBits) ^ t.hist.PathHist<<1 ^ uint64(table)*0x9e3779b9
+	x ^= x >> 17
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return uint32(x) & (1<<t.cfg.TableBits - 1)
+}
+
+func (t *Tage) tag(pc isa.Addr, table int) uint16 {
+	h := t.histBits(t.cfg.HistLengths[table])
+	x := uint64(pc)>>2 ^ h*0x94d049bb133111eb ^ uint64(table)<<7
+	x ^= x >> 23
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return uint16(x) & (1<<t.cfg.TagBits - 1)
+}
+
+func (t *Tage) bimIndex(pc isa.Addr) uint32 {
+	return uint32(uint64(pc)>>2) & (1<<t.cfg.BimodalBits - 1)
+}
+
+// Predict implements DirectionPredictor.
+func (t *Tage) Predict(pc isa.Addr) Prediction {
+	t.Lookups++
+	var p Prediction
+	p.provider = -1
+	p.bimIdx = t.bimIndex(pc)
+	bimTaken := t.bimodal[p.bimIdx] >= 0
+
+	alt := -1
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		p.idxs[i] = t.index(pc, i)
+		p.tags[i] = t.tag(pc, i)
+	}
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		e := &t.tables[i][p.idxs[i]]
+		if e.tag == p.tags[i] {
+			if p.provider < 0 {
+				p.provider = i
+			} else if alt < 0 {
+				alt = i
+				break
+			}
+		}
+	}
+
+	p.altTaken = bimTaken
+	if alt >= 0 {
+		p.altTaken = t.tables[alt][p.idxs[alt]].ctr >= 0
+	}
+
+	if p.provider >= 0 {
+		e := &t.tables[p.provider][p.idxs[p.provider]]
+		p.provCtr = e.ctr
+		p.provTaken = e.ctr >= 0
+		// Newly allocated, weak entries: optionally trust the alternate.
+		weakNew := e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+		if weakNew && t.useAltOnNA >= 0 {
+			p.Taken = p.altTaken
+		} else {
+			p.Taken = p.provTaken
+		}
+		p.Conf = counterConfidence(e.ctr)
+		t.ProviderHits[p.provider]++
+	} else {
+		p.provCtr = t.bimodal[p.bimIdx]
+		p.provTaken = bimTaken
+		p.Taken = bimTaken
+		p.Conf = bimodalConfidence(t.bimodal[p.bimIdx])
+		t.ProviderHits[len(t.tables)]++
+	}
+
+	// Statistical corrector: may flip weak predictions and degrade
+	// confidence on disagreement.
+	if t.sc != nil {
+		sum := t.sc.sum(pc, &t.hist, p.Taken, &p)
+		p.scSum = sum
+		if disagrees(sum, p.Taken) && p.Conf != High {
+			p.Taken = sum >= 0
+			p.Conf = Low
+		} else if disagrees(sum, p.Taken) {
+			// SC disagrees with a high-confidence provider: keep the
+			// provider's direction but lower confidence one notch.
+			p.Conf = Medium
+		}
+	}
+
+	// Loop predictor: overrides with High confidence when it has locked
+	// onto a constant trip count.
+	if t.loop != nil {
+		if taken, hit := t.loop.predict(pc); hit {
+			p.Taken = taken
+			p.Conf = High
+			p.loopHit = true
+		}
+	}
+	return p
+}
+
+// counterConfidence maps a 3-bit counter to confidence: saturated or
+// near-saturated counters are High, mid-range Medium, weak Low.
+func counterConfidence(ctr int8) Confidence {
+	mag := int(2*int32(ctr) + 1)
+	if mag < 0 {
+		mag = -mag
+	}
+	switch {
+	case mag >= 5:
+		return High
+	case mag >= 3:
+		return Medium
+	default:
+		return Low
+	}
+}
+
+func bimodalConfidence(ctr int8) Confidence {
+	// Saturated 2-bit states are trustworthy: a branch that never
+	// mispredicts keeps the bimodal provider forever (no tagged
+	// allocation without mispredictions), so saturation must map to
+	// High or UDP's off-path estimator would accumulate spurious
+	// confidence debt on perfectly predicted code.
+	if ctr <= -2 || ctr >= 1 {
+		return High
+	}
+	return Low
+}
+
+func disagrees(sum int32, taken bool) bool { return (sum >= 0) != taken }
+
+// SpecUpdate implements DirectionPredictor.
+func (t *Tage) SpecUpdate(pc isa.Addr, taken bool) {
+	carry := t.hist.H[0] >> 63
+	t.hist.H[0] = t.hist.H[0]<<1 | b2u(taken)
+	t.hist.H[1] = t.hist.H[1]<<1 | carry
+	if taken {
+		t.hist.PathHist = t.hist.PathHist<<3 ^ uint64(pc)>>2
+	}
+	if t.loop != nil {
+		t.loop.specAdvance(pc, taken)
+	}
+}
+
+// Snapshot implements DirectionPredictor.
+func (t *Tage) Snapshot() HistState { return t.hist }
+
+// Restore implements DirectionPredictor.
+func (t *Tage) Restore(s HistState) {
+	t.hist = s
+	if t.loop != nil {
+		t.loop.restore()
+	}
+}
+
+// Train implements DirectionPredictor. It must be called in program
+// order with the Prediction returned by Predict.
+func (t *Tage) Train(pc isa.Addr, taken bool, pred Prediction) {
+	correct := pred.Taken == taken
+
+	if t.loop != nil {
+		t.loop.train(pc, taken, pred.loopHit)
+	}
+	if t.sc != nil {
+		t.sc.train(taken, &pred)
+	}
+
+	// USE_ALT_ON_NA bookkeeping: when the provider was weak/new and alt
+	// differed, learn which to trust.
+	if pred.provider >= 0 {
+		e := &t.tables[pred.provider][pred.idxs[pred.provider]]
+		weakNew := e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+		if weakNew && pred.provTaken != pred.altTaken {
+			if pred.altTaken == taken {
+				t.useAltOnNA = satInc8(t.useAltOnNA, 7)
+			} else {
+				t.useAltOnNA = satDec8(t.useAltOnNA, -8)
+			}
+		}
+		// Usefulness: provider correct and alt wrong.
+		if pred.provTaken == taken && pred.altTaken != taken && e.u < 3 {
+			e.u++
+		}
+		// Counter update.
+		if taken {
+			e.ctr = satInc8(e.ctr, 3)
+		} else {
+			e.ctr = satDec8(e.ctr, -4)
+		}
+	} else {
+		b := &t.bimodal[pred.bimIdx]
+		if taken {
+			*b = satInc8(*b, 1)
+		} else {
+			*b = satDec8(*b, -2)
+		}
+	}
+
+	// Allocation on misprediction: claim an entry in a longer-history
+	// table.
+	if !correct && pred.provider < len(t.tables)-1 {
+		t.allocate(pc, taken, pred)
+	}
+
+	// Periodic graceful aging of usefulness bits.
+	t.tick++
+	if t.tick&(1<<18-1) == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				if t.tables[i][j].u > 0 {
+					t.tables[i][j].u--
+				}
+			}
+		}
+	}
+}
+
+func (t *Tage) allocate(pc isa.Addr, taken bool, pred Prediction) {
+	start := pred.provider + 1
+	// Randomize the first candidate table a little (as in TAGE) to
+	// spread allocations.
+	t.rng = t.rng*6364136223846793005 + 1442695040888963407
+	if start < len(t.tables)-1 && t.rng>>62 == 0 {
+		start++
+	}
+	for i := start; i < len(t.tables); i++ {
+		e := &t.tables[i][pred.idxs[i]]
+		if e.u == 0 {
+			e.tag = pred.tags[i]
+			e.u = 0
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			return
+		}
+	}
+	// No free entry: decay usefulness along the way.
+	for i := start; i < len(t.tables); i++ {
+		e := &t.tables[i][pred.idxs[i]]
+		if e.u > 0 {
+			e.u--
+		}
+	}
+}
+
+// StorageBits returns the predictor's storage budget in bits.
+func (t *Tage) StorageBits() uint64 {
+	entryBits := uint64(t.cfg.TagBits) + 3 + 2
+	bits := uint64(len(t.tables)) * uint64(1<<t.cfg.TableBits) * entryBits
+	bits += uint64(1<<t.cfg.BimodalBits) * 2
+	if t.sc != nil {
+		bits += t.sc.storageBits()
+	}
+	if t.loop != nil {
+		bits += t.loop.storageBits()
+	}
+	return bits
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func satInc8(v, max int8) int8 {
+	if v < max {
+		return v + 1
+	}
+	return v
+}
+
+func satDec8(v, min int8) int8 {
+	if v > min {
+		return v - 1
+	}
+	return v
+}

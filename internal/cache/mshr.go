@@ -1,0 +1,134 @@
+package cache
+
+import "udpsim/internal/isa"
+
+// MSHR is one miss-status holding register: an in-flight fill for a cache
+// line. Entries double as the fill buffer in the paper's terminology —
+// a demand access that finds its line in an MSHR "hits the fill buffer"
+// and pays only the remaining latency. That event is exactly what the
+// paper counts as an *untimely* (but still useful) prefetch hit.
+type MSHR struct {
+	LineAddr isa.Addr
+	Valid    bool
+	// Prefetch is true while the fill was initiated by a prefetch and no
+	// demand access has merged into it yet.
+	Prefetch bool
+	// DemandMerged is set when a demand access merged into a
+	// prefetch-initiated fill (the "fill buffer hit").
+	DemandMerged bool
+	// IssueCycle is when the fill was initiated.
+	IssueCycle uint64
+	// ReadyCycle is when the line data arrives and may be installed.
+	ReadyCycle uint64
+	// OffPath is true when the initiating prefetch was emitted while the
+	// frontend was on the wrong path (carried through so usefulness can
+	// be attributed to off-path prefetches).
+	OffPath bool
+}
+
+// MSHRStats counts MSHR file events.
+type MSHRStats struct {
+	Allocations         uint64
+	PrefetchAllocations uint64
+	DemandMerges        uint64 // demand access found the line in flight
+	PrefetchMerges      uint64 // prefetch found the line already in flight
+	AllocFailures       uint64 // all entries busy
+	Completions         uint64
+}
+
+// MSHRFile is a fixed-capacity collection of MSHRs.
+type MSHRFile struct {
+	entries []MSHR
+	Stats   MSHRStats
+}
+
+// NewMSHRFile builds a file with n entries.
+func NewMSHRFile(n int) *MSHRFile {
+	if n <= 0 {
+		panic("cache: MSHR file needs at least one entry")
+	}
+	return &MSHRFile{entries: make([]MSHR, n)}
+}
+
+// Lookup returns the in-flight entry for lineAddr, or nil.
+func (f *MSHRFile) Lookup(lineAddr isa.Addr) *MSHR {
+	for i := range f.entries {
+		if f.entries[i].Valid && f.entries[i].LineAddr == lineAddr {
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Allocate reserves an entry for a new fill. It returns nil when the file
+// is full (the requester must retry or stall).
+func (f *MSHRFile) Allocate(lineAddr isa.Addr, issue, ready uint64, prefetch, offPath bool) *MSHR {
+	for i := range f.entries {
+		if !f.entries[i].Valid {
+			f.entries[i] = MSHR{
+				LineAddr:   lineAddr,
+				Valid:      true,
+				Prefetch:   prefetch,
+				IssueCycle: issue,
+				ReadyCycle: ready,
+				OffPath:    offPath,
+			}
+			f.Stats.Allocations++
+			if prefetch {
+				f.Stats.PrefetchAllocations++
+			}
+			return &f.entries[i]
+		}
+	}
+	f.Stats.AllocFailures++
+	return nil
+}
+
+// MergeDemand records a demand access merging into an in-flight fill.
+// It returns the cycle at which the data will be available.
+func (f *MSHRFile) MergeDemand(m *MSHR) uint64 {
+	if m.Prefetch && !m.DemandMerged {
+		m.DemandMerged = true
+		f.Stats.DemandMerges++
+	}
+	return m.ReadyCycle
+}
+
+// Completed collects entries whose fills have arrived by cycle, invoking
+// install for each and freeing them. The install callback receives the
+// finished entry by value.
+func (f *MSHRFile) Completed(cycle uint64, install func(MSHR)) {
+	for i := range f.entries {
+		if f.entries[i].Valid && f.entries[i].ReadyCycle <= cycle {
+			e := f.entries[i]
+			f.entries[i].Valid = false
+			f.Stats.Completions++
+			install(e)
+		}
+	}
+}
+
+// Occupancy returns the number of in-flight entries.
+func (f *MSHRFile) Occupancy() int {
+	n := 0
+	for i := range f.entries {
+		if f.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity returns the file size.
+func (f *MSHRFile) Capacity() int { return len(f.entries) }
+
+// Full reports whether no entry is free.
+func (f *MSHRFile) Full() bool { return f.Occupancy() == len(f.entries) }
+
+// Flush drops all in-flight entries (used only by tests and machine
+// reset; real fills are never cancelled mid-flight by the frontend).
+func (f *MSHRFile) Flush() {
+	for i := range f.entries {
+		f.entries[i].Valid = false
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"udpsim/internal/bp"
+	"udpsim/internal/frontend"
+	"udpsim/internal/isa"
+)
+
+// Combined composes UDP's per-candidate filtering with UFTQ's dynamic
+// FTQ sizing. The paper presents the two as orthogonal ("UFTQ ... UDP
+// ... can be combined with techniques that improve BTB storage capacity"
+// and evaluates UDP only on a fixed FTQ); this is the natural
+// composition: UFTQ provides the depth, UDP vetoes useless candidates
+// within it. Exposed as mechanism "udp-uftq" for the ablation bench.
+type Combined struct {
+	UDP  *UDP
+	UFTQ *UFTQ
+}
+
+// NewCombined wires the two mechanisms.
+func NewCombined(udpCfg UDPConfig, uftqCfg UFTQConfig) *Combined {
+	return &Combined{UDP: NewUDP(udpCfg), UFTQ: NewUFTQ(uftqCfg)}
+}
+
+// Name returns the mechanism's display name.
+func (c *Combined) Name() string { return "UDP+" + c.UFTQ.Name() }
+
+// OnCondPrediction implements frontend.Tuner.
+func (c *Combined) OnCondPrediction(conf bp.Confidence) {
+	c.UDP.OnCondPrediction(conf)
+	c.UFTQ.OnCondPrediction(conf)
+}
+
+// OnResteer implements frontend.Tuner.
+func (c *Combined) OnResteer(k frontend.ResteerKind) {
+	c.UDP.OnResteer(k)
+	c.UFTQ.OnResteer(k)
+}
+
+// AssumeOffPath implements frontend.Tuner (UDP's estimator).
+func (c *Combined) AssumeOffPath() bool { return c.UDP.AssumeOffPath() }
+
+// FilterCandidate implements frontend.Tuner (UDP's useful-set).
+func (c *Combined) FilterCandidate(line isa.Addr) int { return c.UDP.FilterCandidate(line) }
+
+// OnCandidate implements frontend.Tuner.
+func (c *Combined) OnCandidate(line isa.Addr) { c.UDP.OnCandidate(line) }
+
+// OnRetire implements frontend.Tuner.
+func (c *Combined) OnRetire(line isa.Addr) {
+	c.UDP.OnRetire(line)
+	c.UFTQ.OnRetire(line)
+}
+
+// OnRetireTakenBranch implements frontend.Tuner.
+func (c *Combined) OnRetireTakenBranch(block isa.Addr) {
+	c.UDP.OnRetireTakenBranch(block)
+}
+
+// OnSequentialBlockEnd implements frontend.Tuner.
+func (c *Combined) OnSequentialBlockEnd(block isa.Addr) {
+	c.UDP.OnSequentialBlockEnd(block)
+}
+
+// OnPrefetchUseful implements frontend.Tuner.
+func (c *Combined) OnPrefetchUseful(line isa.Addr, offPath bool) {
+	c.UDP.OnPrefetchUseful(line, offPath)
+	c.UFTQ.OnPrefetchUseful(line, offPath)
+}
+
+// OnPrefetchUseless implements frontend.Tuner.
+func (c *Combined) OnPrefetchUseless(line isa.Addr, offPath bool) {
+	c.UDP.OnPrefetchUseless(line, offPath)
+	c.UFTQ.OnPrefetchUseless(line, offPath)
+}
+
+// OnDemandFetch implements frontend.Tuner (UFTQ's timeliness window).
+func (c *Combined) OnDemandFetch(icacheHit, fillBufferHit bool) {
+	c.UFTQ.OnDemandFetch(icacheHit, fillBufferHit)
+}
+
+// TargetFTQDepth implements frontend.Tuner (UFTQ's sizing).
+func (c *Combined) TargetFTQDepth(current int) int { return c.UFTQ.TargetFTQDepth(current) }
+
+// StorageBytes reports the combined hardware budget.
+func (c *Combined) StorageBytes() uint {
+	return c.UDP.StorageBytes() + uint(c.UFTQ.StorageBits()+7)/8
+}

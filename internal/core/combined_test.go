@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"udpsim/internal/bp"
+	"udpsim/internal/frontend"
+)
+
+func testCombined() *Combined {
+	u := DefaultUFTQConfig(UFTQATRAUR)
+	u.Window = 100
+	return NewCombined(DefaultUDPConfig(), u)
+}
+
+func TestCombinedDelegatesFiltering(t *testing.T) {
+	c := testCombined()
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+	// Off-path estimation comes from UDP.
+	for i := 0; i < 5; i++ {
+		c.OnCondPrediction(bp.Low)
+	}
+	if !c.AssumeOffPath() {
+		t.Error("combined did not assume off-path via UDP")
+	}
+	// Candidate flow reaches UDP's Seniority-FTQ.
+	c.OnCandidate(ln(1))
+	if c.UDP.Seniority().Len() != 1 {
+		t.Error("candidate not tracked")
+	}
+	if got := c.FilterCandidate(ln(1)); got != 0 {
+		t.Errorf("unknown candidate emitted %d", got)
+	}
+	// Retire matching learns and resets via both components.
+	c.OnRetire(ln(1))
+	c.OnRetireTakenBranch(ln(2))
+	c.OnSequentialBlockEnd(ln(2))
+	c.OnResteer(frontend.ResteerRecovery)
+	if c.AssumeOffPath() {
+		t.Error("resteer did not reset the estimator")
+	}
+}
+
+func TestCombinedDelegatesSizing(t *testing.T) {
+	c := testCombined()
+	// Feed enough prefetch outcomes to complete UFTQ windows with high
+	// utility: the target depth must move from the UFTQ side.
+	start := c.TargetFTQDepth(32)
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 100; i++ {
+			c.OnPrefetchUseful(ln(i), false)
+			c.OnDemandFetch(true, false)
+		}
+	}
+	if c.TargetFTQDepth(32) == start {
+		t.Error("combined sizing never moved")
+	}
+	if c.UFTQ.Windows == 0 {
+		t.Error("UFTQ windows not fed")
+	}
+	// Useless outcomes feed both the sizer and UDP's flush policy.
+	for i := 0; i < 100; i++ {
+		c.OnPrefetchUseless(ln(i), true)
+	}
+	if c.StorageBytes() == 0 {
+		t.Error("zero storage accounting")
+	}
+}

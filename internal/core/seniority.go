@@ -1,0 +1,82 @@
+package core
+
+import "udpsim/internal/isa"
+
+// SeniorityFTQ tracks off-path prefetch-candidate blocks after they
+// leave the FTQ (paper Section IV-B). Its entries deliberately survive
+// pipeline flushes — that seniority is what lets an off-path candidate
+// be matched against *post-recovery on-path retirement* at the merge
+// point, proving the candidate useful.
+//
+// It is much smaller than the ROB because it holds coarse fetch-block
+// lines, and only ones that were actual prefetch candidates.
+type SeniorityFTQ struct {
+	ring  []isa.Addr
+	index map[isa.Addr]int // line -> ring position
+	head  int
+	count int
+
+	Insertions uint64
+	Matches    uint64
+	Evictions  uint64
+}
+
+// NewSeniorityFTQ builds a tracker with n entries.
+func NewSeniorityFTQ(n int) *SeniorityFTQ {
+	if n <= 0 {
+		panic("core: Seniority-FTQ needs at least one entry")
+	}
+	return &SeniorityFTQ{
+		ring:  make([]isa.Addr, n),
+		index: make(map[isa.Addr]int, n),
+	}
+}
+
+// Insert tracks a candidate line; duplicates refresh nothing (the
+// original position keeps aging).
+func (s *SeniorityFTQ) Insert(line isa.Addr) {
+	line = line.Line()
+	if _, ok := s.index[line]; ok {
+		return
+	}
+	pos := (s.head + s.count) % len(s.ring)
+	if s.count == len(s.ring) {
+		// Evict the oldest.
+		old := s.ring[s.head]
+		delete(s.index, old)
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		s.Evictions++
+		pos = (s.head + s.count) % len(s.ring)
+	}
+	s.ring[pos] = line
+	s.index[line] = pos
+	s.count++
+	s.Insertions++
+}
+
+// Match tests whether line is tracked; on a hit the entry is consumed
+// (the candidate has been proven useful).
+func (s *SeniorityFTQ) Match(line isa.Addr) bool {
+	line = line.Line()
+	pos, ok := s.index[line]
+	if !ok {
+		return false
+	}
+	s.Matches++
+	// Lazy removal: mark the slot invalid by zeroing; zero never
+	// matches because index is authoritative.
+	delete(s.index, line)
+	s.ring[pos] = 0
+	return true
+}
+
+// Len returns the number of live tracked candidates.
+func (s *SeniorityFTQ) Len() int { return len(s.index) }
+
+// Cap returns the capacity.
+func (s *SeniorityFTQ) Cap() int { return len(s.ring) }
+
+// StorageBytes reports the hardware budget (line address tags, ~6 bytes
+// per entry).
+func (s *SeniorityFTQ) StorageBytes() uint { return uint(len(s.ring)) * 6 }

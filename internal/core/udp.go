@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"udpsim/internal/bp"
+	"udpsim/internal/frontend"
+	"udpsim/internal/isa"
+)
+
+// UDPConfig parameterizes the utility-driven prefetch filter.
+type UDPConfig struct {
+	// ConfidenceThreshold: the frontend is assumed off-path once the
+	// accumulated confidence counter (low=+2, medium=+1, high=+0 per
+	// conditional prediction) exceeds this.
+	ConfidenceThreshold int
+	// SeniorityEntries sizes the Seniority-FTQ.
+	SeniorityEntries int
+	// Infinite switches the useful-set to the unbounded upper bound
+	// (the paper's "Infinite Storage" configuration).
+	Infinite bool
+	// OutcomeWindow sizes the sliding window for the unuseful-ratio
+	// flush policy.
+	OutcomeWindow int
+	// HiddenBranchTableBits sizes the hidden-taken-branch table
+	// (log2 entries) backing the "predicted taken but missing in BTB"
+	// off-path trigger.
+	HiddenBranchTableBits uint
+	// DisableHiddenTrigger turns the hidden-taken-branch trigger off
+	// (ablation).
+	DisableHiddenTrigger bool
+}
+
+// DefaultUDPConfig returns the paper's configuration (8KB total
+// storage).
+func DefaultUDPConfig() UDPConfig {
+	return UDPConfig{
+		ConfidenceThreshold:   8,
+		SeniorityEntries:      128,
+		OutcomeWindow:         256,
+		HiddenBranchTableBits: 12,
+	}
+}
+
+// UDP is the utility-driven prefetch mechanism (paper Section IV-B),
+// implemented as a frontend.Tuner:
+//
+//   - A confidence counter accumulates TAGE prediction (un)confidence;
+//     past a threshold the frontend is assumed off-path.
+//   - Assumed-off-path prefetch candidates are emitted only when found
+//     in the learned useful-set (Bloom filters with super-line
+//     compression), and are tracked in the Seniority-FTQ either way.
+//   - Retirement matching against the Seniority-FTQ, and demand hits on
+//     off-path-prefetched lines, feed the useful-set.
+//   - When a filter saturates with a high unuseful ratio, it is
+//     cleared.
+//
+// UDP leaves the FTQ depth alone (the paper evaluates it on a fixed
+// 32-deep FTQ).
+type UDP struct {
+	frontend.NopTuner
+	cfg UDPConfig
+
+	confCounter int
+	assumed     bool
+
+	sen    *SeniorityFTQ
+	useful UsefulSet
+
+	// Sliding outcome window for the flush policy.
+	outcomes     []bool // true = useless
+	outcomeIdx   int
+	uselessInWin int
+
+	// hiddenTaken is a table of 2-bit counters indexed by fetch-block
+	// address: "this block tends to contain a taken branch". When a
+	// block ends sequentially (no BTB-predicted taken branch) but the
+	// table disagrees, UDP suspects an undetected BTB miss and assumes
+	// off-path — the paper's second trigger.
+	hiddenTaken []int8
+	hiddenMask  uint64
+
+	// Stats
+	OffPathAssumptions uint64
+	CandidatesSeen     uint64
+	CandidatesDropped  uint64
+	CandidatesEmitted  uint64
+	HiddenBranchHits   uint64
+	Resteers           uint64
+}
+
+// NewUDP builds the mechanism.
+func NewUDP(cfg UDPConfig) *UDP {
+	if cfg.ConfidenceThreshold <= 0 {
+		cfg.ConfidenceThreshold = 8
+	}
+	if cfg.SeniorityEntries <= 0 {
+		cfg.SeniorityEntries = 128
+	}
+	if cfg.OutcomeWindow <= 0 {
+		cfg.OutcomeWindow = 256
+	}
+	if cfg.HiddenBranchTableBits == 0 {
+		cfg.HiddenBranchTableBits = 12
+	}
+	var set UsefulSet
+	if cfg.Infinite {
+		set = NewInfiniteUsefulSet()
+	} else {
+		set = NewBloomUsefulSet()
+	}
+	return &UDP{
+		cfg:         cfg,
+		sen:         NewSeniorityFTQ(cfg.SeniorityEntries),
+		useful:      set,
+		outcomes:    make([]bool, cfg.OutcomeWindow),
+		hiddenTaken: make([]int8, 1<<cfg.HiddenBranchTableBits),
+		hiddenMask:  1<<cfg.HiddenBranchTableBits - 1,
+	}
+}
+
+// Name returns the mechanism's display name.
+func (u *UDP) Name() string {
+	if u.cfg.Infinite {
+		return "UDP-infinite"
+	}
+	return "UDP"
+}
+
+// Set exposes the useful-set (stats, tests).
+func (u *UDP) Set() UsefulSet { return u.useful }
+
+// Seniority exposes the Seniority-FTQ (stats, tests).
+func (u *UDP) Seniority() *SeniorityFTQ { return u.sen }
+
+// ConfidenceCounter exposes the current off-path confidence estimate.
+func (u *UDP) ConfidenceCounter() int { return u.confCounter }
+
+// OnCondPrediction implements frontend.Tuner: accumulate prediction
+// (un)confidence; past the threshold, assume off-path.
+func (u *UDP) OnCondPrediction(conf bp.Confidence) {
+	u.confCounter += conf.UDPIncrement()
+	if !u.assumed && u.confCounter > u.cfg.ConfidenceThreshold {
+		u.assumed = true
+		u.OffPathAssumptions++
+	}
+}
+
+// OnResteer implements frontend.Tuner: any recovery or BTB resteer
+// resets the confidence counter (paper Section IV-B).
+func (u *UDP) OnResteer(frontend.ResteerKind) {
+	u.Resteers++
+	u.confCounter = 0
+	u.assumed = false
+}
+
+// AssumeOffPath implements frontend.Tuner.
+func (u *UDP) AssumeOffPath() bool { return u.assumed }
+
+func (u *UDP) hiddenIdx(block isa.Addr) uint64 {
+	x := uint64(block) >> isa.FetchBlockShift
+	x ^= x >> 13
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 31
+	return x & u.hiddenMask
+}
+
+// OnRetireTakenBranch implements frontend.Tuner: train the
+// hidden-taken-branch table.
+func (u *UDP) OnRetireTakenBranch(block isa.Addr) {
+	c := &u.hiddenTaken[u.hiddenIdx(block)]
+	if *c < 3 {
+		*c++
+	}
+}
+
+// OnSequentialBlockEnd implements frontend.Tuner: a block that the BTB
+// claims has no taken branch, but that history says usually takes one,
+// signals an undetected BTB miss — assume off-path.
+func (u *UDP) OnSequentialBlockEnd(block isa.Addr) {
+	if u.cfg.DisableHiddenTrigger {
+		return
+	}
+	i := u.hiddenIdx(block)
+	if u.hiddenTaken[i] >= 2 {
+		u.hiddenTaken[i]-- // decay so stale entries clear
+		if !u.assumed {
+			u.assumed = true
+			u.confCounter = u.cfg.ConfidenceThreshold + 1
+			u.HiddenBranchHits++
+			u.OffPathAssumptions++
+		}
+	}
+}
+
+// OnCandidate implements frontend.Tuner: every assumed-off-path
+// prefetch candidate (emitted or dropped) enters the Seniority-FTQ so
+// retirement can prove it useful later.
+func (u *UDP) OnCandidate(line isa.Addr) {
+	u.CandidatesSeen++
+	u.sen.Insert(line)
+}
+
+// FilterCandidate implements frontend.Tuner: on the assumed off-path,
+// emit only learned-useful candidates; a super-line hit emits 2 or 4
+// consecutive lines.
+func (u *UDP) FilterCandidate(line isa.Addr) int {
+	n := u.useful.Lookup(line)
+	if n == 0 {
+		u.CandidatesDropped++
+		return 0
+	}
+	u.CandidatesEmitted++
+	return n
+}
+
+// OnRetire implements frontend.Tuner: Seniority-FTQ matching — a
+// retired instruction whose line matches a tracked candidate proves the
+// candidate useful, feeding the useful-set (through the coalescing
+// buffer for the Bloom implementation).
+func (u *UDP) OnRetire(line isa.Addr) {
+	if u.sen.Match(line) {
+		u.useful.Learn(line)
+	}
+}
+
+// OnPrefetchUseful implements frontend.Tuner: an on-path demand hit on
+// an off-path prefetch is direct evidence of usefulness.
+func (u *UDP) OnPrefetchUseful(line isa.Addr, offPath bool) {
+	if offPath {
+		u.useful.Learn(line)
+	}
+	u.recordOutcome(false)
+}
+
+// OnPrefetchUseless implements frontend.Tuner: negative evidence for
+// the useful-set (where it can afford to store it) and the flush
+// policy.
+func (u *UDP) OnPrefetchUseless(line isa.Addr, offPath bool) {
+	if offPath {
+		u.useful.LearnUseless(line)
+	}
+	u.recordOutcome(true)
+}
+
+func (u *UDP) recordOutcome(useless bool) {
+	old := u.outcomes[u.outcomeIdx]
+	if old {
+		u.uselessInWin--
+	}
+	u.outcomes[u.outcomeIdx] = useless
+	if useless {
+		u.uselessInWin++
+	}
+	u.outcomeIdx = (u.outcomeIdx + 1) % len(u.outcomes)
+	u.useful.MaybeFlush(float64(u.uselessInWin) / float64(len(u.outcomes)))
+}
+
+// StorageBytes reports the mechanism's hardware budget: useful-set
+// filters, coalescing buffer, Seniority-FTQ, hidden-branch table, and
+// counters. The paper's total for the default configuration is 8KB.
+func (u *UDP) StorageBytes() uint {
+	bits := uint(2) * uint(len(u.hiddenTaken)) // 2-bit counters
+	return u.useful.StorageBytes() + u.sen.StorageBytes() + bits/8 + 16
+}
+
+// String summarizes learning activity.
+func (u *UDP) String() string {
+	base := fmt.Sprintf("%s: %d assumed-off-path (%d via hidden-branch), %d candidates (%d emitted, %d dropped), seniority %d/%d (ins %d, match %d, evict %d)",
+		u.Name(), u.OffPathAssumptions, u.HiddenBranchHits, u.CandidatesSeen, u.CandidatesEmitted,
+		u.CandidatesDropped, u.sen.Len(), u.sen.Cap(), u.sen.Insertions, u.sen.Matches, u.sen.Evictions)
+	switch set := u.useful.(type) {
+	case *BloomUsefulSet:
+		return fmt.Sprintf("%s; bloom learned %d (ins %d/%d/%d, flushes %d, fill %.2f, lookups %d, hits %d/%d/%d)",
+			base, set.Learned, set.Inserted1, set.Inserted2, set.Inserted4, set.Flushes,
+			set.FillRatio(), set.Lookups, set.Hits1, set.Hits2, set.Hits4)
+	case *InfiniteUsefulSet:
+		return fmt.Sprintf("%s; infinite learned %d useful / %d useless, lookups %d (hits %d, drops %d)",
+			base, set.Learned, set.LearnedUseless, set.Lookups, set.Hits, set.Drops)
+	default:
+		return base
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"udpsim/internal/bloom"
+	"udpsim/internal/isa"
+)
+
+// UsefulSet is the learned set of prefetch-candidate lines worth
+// emitting on the (assumed) off-path.
+type UsefulSet interface {
+	// Lookup returns how many consecutive lines starting at line should
+	// be prefetched (1, 2 or 4), or 0 when the candidate is unknown.
+	Lookup(line isa.Addr) int
+	// Learn records that line was proven useful.
+	Learn(line isa.Addr)
+	// LearnUseless records that a prefetch of line was evicted unused.
+	// Only storage-unconstrained implementations track this; the Bloom
+	// useful-set ignores it (its 8KB budget holds useful lines only).
+	LearnUseless(line isa.Addr)
+	// MaybeFlush applies the set's replacement policy given the current
+	// unuseful ratio; returns true if the set was cleared.
+	MaybeFlush(unusefulRatio float64) bool
+	// StorageBytes reports the hardware budget.
+	StorageBytes() uint
+}
+
+// coalesceDepth is the size of the recent-candidate buffer used to form
+// super-lines (paper: "a small buffer that stores the last eight recent
+// prefetch candidates before they get inserted into the filter").
+const coalesceDepth = 8
+
+// BloomUsefulSet is the paper's space-efficient useful-set: three
+// partitioned Bloom filters holding 1-line, 2-line, and 4-line
+// super-blocks (16k + 1k + 1k bits, 6 hash functions, ~1% FPR), fed
+// through an 8-entry coalescing buffer that merges consecutive lines.
+type BloomUsefulSet struct {
+	f1, f2, f4 *bloom.Filter
+	buf        []isa.Addr // pending learned lines, oldest first
+	// FlushThreshold is the unuseful ratio beyond which a full filter
+	// is cleared (paper: 0.75).
+	FlushThreshold float64
+
+	// Stats
+	Learned   uint64
+	Inserted1 uint64
+	Inserted2 uint64
+	Inserted4 uint64
+	Flushes   uint64
+	Lookups   uint64
+	Hits1     uint64
+	Hits2     uint64
+	Hits4     uint64
+}
+
+// NewBloomUsefulSet builds the paper's configuration.
+func NewBloomUsefulSet() *BloomUsefulSet {
+	return &BloomUsefulSet{
+		f1:             bloom.New(16*1024, 6),
+		f2:             bloom.New(1024, 6),
+		f4:             bloom.New(1024, 6),
+		FlushThreshold: 0.75,
+	}
+}
+
+func lineKey(line isa.Addr) uint64 { return uint64(line) >> isa.LineShift }
+
+// Lookup implements UsefulSet. The three filters are probed in parallel
+// in hardware; the widest hit wins so one useful-set entry can launch
+// up to four line prefetches.
+func (s *BloomUsefulSet) Lookup(line isa.Addr) int {
+	s.Lookups++
+	k := lineKey(line)
+	if s.f4.Contains(k) {
+		s.Hits4++
+		return 4
+	}
+	if s.f2.Contains(k) {
+		s.Hits2++
+		return 2
+	}
+	if s.f1.Contains(k) {
+		s.Hits1++
+		return 1
+	}
+	return 0
+}
+
+// Learn implements UsefulSet: the line enters the coalescing buffer;
+// once the buffer fills, the oldest run is folded into the narrowest
+// filter that covers it.
+func (s *BloomUsefulSet) Learn(line isa.Addr) {
+	s.Learned++
+	line = line.Line()
+	// Ignore duplicates already pending.
+	for _, p := range s.buf {
+		if p == line {
+			return
+		}
+	}
+	s.buf = append(s.buf, line)
+	if len(s.buf) > coalesceDepth {
+		s.drainOne()
+	}
+}
+
+// drainOne folds the oldest buffered candidate (and any consecutive
+// run it starts) into a filter.
+func (s *BloomUsefulSet) drainOne() {
+	base := s.buf[0]
+	run := 1
+	// Find monotonically increasing consecutive lines anywhere in the
+	// buffer (the hardware compares against all eight entries).
+	for run < 4 {
+		next := base + isa.Addr(run*isa.LineBytes)
+		found := false
+		for _, p := range s.buf[1:] {
+			if p == next {
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		run++
+	}
+	switch {
+	case run >= 4:
+		s.f4.Insert(lineKey(base))
+		s.Inserted4++
+		s.removeRun(base, 4)
+	case run >= 2:
+		s.f2.Insert(lineKey(base))
+		s.Inserted2++
+		s.removeRun(base, 2)
+	default:
+		s.f1.Insert(lineKey(base))
+		s.Inserted1++
+		s.removeRun(base, 1)
+	}
+}
+
+// Flush drains all pending buffered candidates (tests / end of run).
+func (s *BloomUsefulSet) FlushBuffer() {
+	for len(s.buf) > 0 {
+		s.drainOne()
+	}
+}
+
+func (s *BloomUsefulSet) removeRun(base isa.Addr, n int) {
+	keep := s.buf[:0]
+	for _, p := range s.buf {
+		in := false
+		for k := 0; k < n; k++ {
+			if p == base+isa.Addr(k*isa.LineBytes) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			keep = append(keep, p)
+		}
+	}
+	s.buf = keep
+}
+
+// LearnUseless implements UsefulSet (no-op: the 8KB budget cannot
+// afford negative entries; useless pressure is handled by the flush
+// policy instead).
+func (s *BloomUsefulSet) LearnUseless(isa.Addr) {}
+
+// MaybeFlush implements UsefulSet: when any filter saturates and the
+// recent unuseful ratio exceeds the threshold, all filters clear and
+// learning restarts (paper Section IV-B).
+func (s *BloomUsefulSet) MaybeFlush(unusefulRatio float64) bool {
+	if unusefulRatio < s.FlushThreshold {
+		return false
+	}
+	if !s.f1.Full() && !s.f2.Full() && !s.f4.Full() {
+		return false
+	}
+	s.f1.Clear()
+	s.f2.Clear()
+	s.f4.Clear()
+	s.buf = s.buf[:0]
+	s.Flushes++
+	return true
+}
+
+// StorageBytes implements UsefulSet: the three filters plus the
+// 8-entry coalescing buffer (line addresses, ~6 bytes each).
+func (s *BloomUsefulSet) StorageBytes() uint {
+	return s.f1.SizeBytes() + s.f2.SizeBytes() + s.f4.SizeBytes() + coalesceDepth*6
+}
+
+// FillRatio reports the 1-block filter's load (diagnostics).
+func (s *BloomUsefulSet) FillRatio() float64 { return s.f1.FillRatio() }
+
+// InfiniteUsefulSet is the paper's "Infinite Storage" upper bound: with
+// no capacity limit it tracks *both* outcomes — lines proven useful and
+// lines whose prefetches were evicted unused — and drops only the
+// proven-useless ones, emitting unknown candidates optimistically. This
+// makes it a true upper bound on the Bloom implementation, which must
+// drop every unknown candidate because it can only afford to remember
+// useful lines.
+type InfiniteUsefulSet struct {
+	// score holds saturating per-line utility evidence: useful hits add
+	// +2 (saturating at +3), unused evictions add −1 (saturating at −3).
+	// A candidate is dropped only with clearly negative evidence
+	// (score ≤ −2); unknown lines are emitted optimistically.
+	score map[uint64]int8
+
+	Learned        uint64
+	LearnedUseless uint64
+	Lookups        uint64
+	Hits           uint64
+	Drops          uint64
+}
+
+// NewInfiniteUsefulSet builds the upper-bound set.
+func NewInfiniteUsefulSet() *InfiniteUsefulSet {
+	return &InfiniteUsefulSet{score: make(map[uint64]int8)}
+}
+
+// Lookup implements UsefulSet. Like the Bloom implementation's
+// super-line filters, a learned run of consecutive useful lines is
+// emitted together (up to 4).
+func (s *InfiniteUsefulSet) Lookup(line isa.Addr) int {
+	s.Lookups++
+	base := lineKey(line.Line())
+	sc := s.score[base]
+	if sc <= -2 {
+		s.Drops++
+		return 0
+	}
+	if sc <= 0 {
+		// Unknown or weak evidence: emit one line optimistically; the
+		// outcome will refine the score.
+		return 1
+	}
+	s.Hits++
+	n := 1
+	for n < 4 {
+		if s.score[base+uint64(n)] <= 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Learn implements UsefulSet.
+func (s *InfiniteUsefulSet) Learn(line isa.Addr) {
+	s.Learned++
+	k := lineKey(line.Line())
+	sc := s.score[k] + 2
+	if sc > 3 {
+		sc = 3
+	}
+	s.score[k] = sc
+}
+
+// LearnUseless implements UsefulSet: one unused eviction is weak
+// evidence (capacity churn also evicts genuinely useful prefetches), so
+// it takes repeated uselessness to suppress a line.
+func (s *InfiniteUsefulSet) LearnUseless(line isa.Addr) {
+	s.LearnedUseless++
+	k := lineKey(line.Line())
+	sc := s.score[k] - 1
+	if sc < -3 {
+		sc = -3
+	}
+	s.score[k] = sc
+}
+
+// MaybeFlush implements UsefulSet (never flushes).
+func (s *InfiniteUsefulSet) MaybeFlush(float64) bool { return false }
+
+// StorageBytes implements UsefulSet (unbounded; reports current).
+func (s *InfiniteUsefulSet) StorageBytes() uint { return uint(len(s.score)) * 8 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"udpsim/internal/isa"
+)
+
+func drainAll(s *BloomUsefulSet) { s.FlushBuffer() }
+
+func TestBloomSetLearnsSingles(t *testing.T) {
+	s := NewBloomUsefulSet()
+	s.Learn(ln(1))
+	s.Learn(ln(100))
+	drainAll(s)
+	if s.Lookup(ln(1)) == 0 || s.Lookup(ln(100)) == 0 {
+		t.Error("learned lines not found")
+	}
+	if s.Inserted1 != 2 {
+		t.Errorf("Inserted1 = %d", s.Inserted1)
+	}
+}
+
+func TestBloomSetFormsSuperLines(t *testing.T) {
+	s := NewBloomUsefulSet()
+	// Four consecutive lines (any arrival order within the buffer).
+	s.Learn(ln(10))
+	s.Learn(ln(12))
+	s.Learn(ln(11))
+	s.Learn(ln(13))
+	drainAll(s)
+	if s.Inserted4 != 1 {
+		t.Fatalf("expected one 4-block insert, got 4:%d 2:%d 1:%d",
+			s.Inserted4, s.Inserted2, s.Inserted1)
+	}
+	if got := s.Lookup(ln(10)); got != 4 {
+		t.Errorf("4-block lookup returned %d", got)
+	}
+}
+
+func TestBloomSetFormsPairs(t *testing.T) {
+	s := NewBloomUsefulSet()
+	s.Learn(ln(20))
+	s.Learn(ln(21))
+	s.Learn(ln(500)) // unrelated
+	drainAll(s)
+	if s.Inserted2 != 1 {
+		t.Fatalf("expected one 2-block insert: 4:%d 2:%d 1:%d",
+			s.Inserted4, s.Inserted2, s.Inserted1)
+	}
+	if got := s.Lookup(ln(20)); got != 2 {
+		t.Errorf("2-block lookup returned %d", got)
+	}
+}
+
+func TestBloomSetDuplicatesIgnoredInBuffer(t *testing.T) {
+	s := NewBloomUsefulSet()
+	for i := 0; i < 20; i++ {
+		s.Learn(ln(42))
+	}
+	drainAll(s)
+	if s.Inserted1 != 1 {
+		t.Errorf("duplicate learns inserted %d times", s.Inserted1)
+	}
+}
+
+func TestBloomSetUnknownDropped(t *testing.T) {
+	s := NewBloomUsefulSet()
+	if s.Lookup(ln(9999)) != 0 {
+		t.Error("unknown line not dropped (false positive on empty filter)")
+	}
+}
+
+func TestBloomSetFlushPolicy(t *testing.T) {
+	s := NewBloomUsefulSet()
+	if s.MaybeFlush(0.9) {
+		t.Error("empty filter flushed")
+	}
+	for i := 0; !s.f1.Full(); i++ {
+		s.Learn(ln(i * 3))
+		s.FlushBuffer()
+	}
+	if s.MaybeFlush(0.5) {
+		t.Error("flushed below threshold")
+	}
+	if !s.MaybeFlush(0.8) {
+		t.Error("saturated filter with unuseful ratio 0.8 not flushed")
+	}
+	if s.Lookup(ln(3)) != 0 && s.Lookup(ln(6)) != 0 && s.Lookup(ln(9)) != 0 {
+		t.Error("filters not cleared")
+	}
+	if s.Flushes != 1 {
+		t.Errorf("Flushes = %d", s.Flushes)
+	}
+}
+
+func TestBloomSetStorage(t *testing.T) {
+	s := NewBloomUsefulSet()
+	// 16k + 1k + 1k bits = 2.25 KiB + coalescing buffer.
+	if b := s.StorageBytes(); b < 2*1024 || b > 3*1024 {
+		t.Errorf("bloom storage %d bytes", b)
+	}
+	s.LearnUseless(ln(1)) // must be a no-op
+	drainAll(s)
+	if s.Lookup(ln(1)) != 0 {
+		t.Error("LearnUseless inserted a line")
+	}
+}
+
+func TestInfiniteSetScores(t *testing.T) {
+	s := NewInfiniteUsefulSet()
+	// Unknown: optimistic single-line emit.
+	if got := s.Lookup(ln(1)); got != 1 {
+		t.Errorf("unknown lookup = %d, want optimistic 1", got)
+	}
+	// One useless strike: still emitted (weak evidence).
+	s.LearnUseless(ln(1))
+	if got := s.Lookup(ln(1)); got != 1 {
+		t.Errorf("one-strike lookup = %d", got)
+	}
+	// Two strikes: dropped.
+	s.LearnUseless(ln(1))
+	if got := s.Lookup(ln(1)); got != 0 {
+		t.Errorf("two-strike lookup = %d, want drop", got)
+	}
+	// Usefulness evidence rehabilitates.
+	s.Learn(ln(1))
+	if got := s.Lookup(ln(1)); got < 1 {
+		t.Errorf("rehabilitated lookup = %d", got)
+	}
+}
+
+func TestInfiniteSetSuperLines(t *testing.T) {
+	s := NewInfiniteUsefulSet()
+	for i := 0; i < 4; i++ {
+		s.Learn(ln(10 + i))
+	}
+	if got := s.Lookup(ln(10)); got != 4 {
+		t.Errorf("consecutive learned run lookup = %d, want 4", got)
+	}
+	if got := s.Lookup(ln(12)); got != 2 {
+		t.Errorf("mid-run lookup = %d, want 2", got)
+	}
+}
+
+func TestInfiniteSetSaturation(t *testing.T) {
+	s := NewInfiniteUsefulSet()
+	for i := 0; i < 10; i++ {
+		s.Learn(ln(1))
+		s.LearnUseless(ln(2))
+	}
+	if s.Lookup(ln(1)) == 0 {
+		t.Error("saturated useful dropped")
+	}
+	if s.Lookup(ln(2)) != 0 {
+		t.Error("saturated useless emitted")
+	}
+	if s.MaybeFlush(1.0) {
+		t.Error("infinite set flushed")
+	}
+	if s.StorageBytes() == 0 {
+		t.Error("zero storage accounting")
+	}
+}
+
+func TestSeniorityFIFO(t *testing.T) {
+	s := NewSeniorityFTQ(4)
+	for i := 0; i < 4; i++ {
+		s.Insert(ln(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// Duplicate insert is a no-op.
+	s.Insert(ln(0))
+	if s.Insertions != 4 {
+		t.Errorf("duplicate counted: %d", s.Insertions)
+	}
+	// Fifth insert evicts the oldest (line 0).
+	s.Insert(ln(9))
+	if s.Match(ln(0)) {
+		t.Error("evicted entry matched")
+	}
+	if !s.Match(ln(9)) {
+		t.Error("new entry not found")
+	}
+	if s.Evictions != 1 {
+		t.Errorf("Evictions = %d", s.Evictions)
+	}
+}
+
+func TestSeniorityMatchConsumes(t *testing.T) {
+	s := NewSeniorityFTQ(8)
+	s.Insert(ln(1))
+	if !s.Match(ln(1)) {
+		t.Fatal("no match")
+	}
+	if s.Match(ln(1)) {
+		t.Error("match not consumed")
+	}
+	if s.Matches != 1 {
+		t.Errorf("Matches = %d", s.Matches)
+	}
+}
+
+func TestSeniorityLineGranular(t *testing.T) {
+	s := NewSeniorityFTQ(8)
+	s.Insert(ln(1) + 4) // mid-line address
+	if !s.Match(ln(1) + 60) {
+		t.Error("same-line address did not match")
+	}
+}
+
+func TestSeniorityPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewSeniorityFTQ(0)
+}
+
+func TestSeniorityStorage(t *testing.T) {
+	s := NewSeniorityFTQ(128)
+	if s.StorageBytes() == 0 || s.Cap() != 128 {
+		t.Error("storage accounting")
+	}
+	_ = isa.Addr(0)
+}

@@ -1,0 +1,243 @@
+// Package eip implements a storage-bounded Entangled Instruction
+// Prefetcher baseline (Ros & Jimborean; the paper's ISO-storage
+// comparator in Fig. 13). EIP learns "entanglings": for a line X whose
+// demand fetch missed, it finds the earlier line Y fetched roughly one
+// memory latency before X and records X as entangled with Y, so that a
+// future access to Y prefetches X just in time.
+//
+// The paper attributes EIP's weakness at an 8KB budget to two causes,
+// both reproduced here: (1) the entangling table thrashes with large
+// code footprints, and (2) EIP trains on *all* icache accesses,
+// including wrong-path fetches, wasting entries on unusable candidates
+// — in this simulator EIP naturally observes the frontend's wrong-path
+// demand fetches.
+package eip
+
+import (
+	"udpsim/internal/isa"
+)
+
+// Config sizes the prefetcher.
+type Config struct {
+	// Sets and Ways define the entangling table geometry.
+	Sets int
+	Ways int
+	// DestsPerEntry is how many entangled destinations one source line
+	// can hold.
+	DestsPerEntry int
+	// HistoryLen is the recent-access window searched for the
+	// entangling source.
+	HistoryLen int
+	// LatencyCycles is the fill latency the entangler tries to cover:
+	// it picks as source the access that far in the past.
+	LatencyCycles uint64
+}
+
+// DefaultConfig returns the 8KB-budget configuration used in Fig. 13.
+func DefaultConfig() Config {
+	return Config{
+		Sets:          256,
+		Ways:          2,
+		DestsPerEntry: 2,
+		HistoryLen:    32,
+		LatencyCycles: 40,
+	}
+}
+
+type entry struct {
+	tag   uint32
+	dests [4]int32 // line deltas from the source, 0 = empty
+	conf  [4]int8
+	valid bool
+	stamp uint64
+}
+
+type histRec struct {
+	line  isa.Addr
+	cycle uint64
+}
+
+// Stats counts prefetcher events.
+type Stats struct {
+	Trainings   uint64
+	Prefetches  uint64
+	TableHits   uint64
+	TableMisses uint64
+	Evictions   uint64
+}
+
+// EIP is the entangled instruction prefetcher.
+type EIP struct {
+	cfg     Config
+	table   [][]entry
+	hist    []histRec
+	histIdx int
+	out     []isa.Addr // reused suggestion buffer
+	Stats   Stats
+}
+
+// New builds the prefetcher.
+func New(cfg Config) *EIP {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("eip: sets must be a positive power of two")
+	}
+	if cfg.Ways <= 0 {
+		panic("eip: ways must be positive")
+	}
+	if cfg.DestsPerEntry <= 0 || cfg.DestsPerEntry > 4 {
+		panic("eip: dests per entry must be 1..4")
+	}
+	if cfg.HistoryLen <= 0 {
+		cfg.HistoryLen = 32
+	}
+	t := make([][]entry, cfg.Sets)
+	backing := make([]entry, cfg.Sets*cfg.Ways)
+	for i := range t {
+		t[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &EIP{cfg: cfg, table: t, hist: make([]histRec, cfg.HistoryLen)}
+}
+
+// StorageBytes reports the metadata budget: per entry a partial tag
+// (~4B) plus DestsPerEntry compressed destinations (4B delta + 1B
+// confidence each).
+func (e *EIP) StorageBytes() uint {
+	entryBytes := uint(4 + e.cfg.DestsPerEntry*5)
+	return uint(e.cfg.Sets*e.cfg.Ways) * entryBytes
+}
+
+func (e *EIP) index(line isa.Addr) (uint64, uint32) {
+	n := uint64(line) >> isa.LineShift
+	x := n * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x & uint64(e.cfg.Sets-1), uint32(x >> 32)
+}
+
+// OnDemandAccess implements frontend.ExternalPrefetcher: look up the
+// line's entanglings and suggest their prefetch; on a miss, train.
+func (e *EIP) OnDemandAccess(line isa.Addr, hit bool, cycle uint64) []isa.Addr {
+	line = line.Line()
+	e.out = e.out[:0]
+
+	// Lookup: does this line entangle others?
+	set, tag := e.index(line)
+	found := false
+	for w := range e.table[set] {
+		en := &e.table[set][w]
+		if en.valid && en.tag == tag {
+			found = true
+			en.stamp = cycle
+			for d := 0; d < e.cfg.DestsPerEntry; d++ {
+				if en.conf[d] > 0 {
+					dest := isa.Addr(int64(line) + int64(en.dests[d])*isa.LineBytes)
+					e.out = append(e.out, dest)
+					e.Stats.Prefetches++
+				}
+			}
+			break
+		}
+	}
+	if found {
+		e.Stats.TableHits++
+	} else {
+		e.Stats.TableMisses++
+	}
+
+	// Train on misses: entangle this line with the access one memory
+	// latency in the past.
+	if !hit {
+		if src, ok := e.findSource(cycle); ok && src != line {
+			e.train(src, line, cycle)
+		}
+	}
+
+	// Record history (every access, hit or miss — EIP's wrong-path-
+	// blind training).
+	e.hist[e.histIdx] = histRec{line: line, cycle: cycle}
+	e.histIdx = (e.histIdx + 1) % len(e.hist)
+
+	return e.out
+}
+
+// OnFill implements frontend.ExternalPrefetcher (EIP trains at access
+// time; fills are not used).
+func (e *EIP) OnFill(isa.Addr, uint64) {}
+
+// findSource returns the most recent history record at least
+// LatencyCycles old.
+func (e *EIP) findSource(cycle uint64) (isa.Addr, bool) {
+	var best isa.Addr
+	var bestCycle uint64
+	ok := false
+	for _, h := range e.hist {
+		if h.line == 0 {
+			continue
+		}
+		if cycle-h.cycle >= e.cfg.LatencyCycles && h.cycle >= bestCycle {
+			best, bestCycle, ok = h.line, h.cycle, true
+		}
+	}
+	return best, ok
+}
+
+// train records dst as entangled with src.
+func (e *EIP) train(src, dst isa.Addr, cycle uint64) {
+	e.Stats.Trainings++
+	delta := (int64(dst) - int64(src)) / isa.LineBytes
+	if delta == 0 || delta > 1<<20 || delta < -(1<<20) {
+		return
+	}
+	set, tag := e.index(src)
+	ways := e.table[set]
+	// Existing entry?
+	for w := range ways {
+		en := &ways[w]
+		if en.valid && en.tag == tag {
+			en.stamp = cycle
+			// Bump an existing destination or claim a weak slot.
+			weakest := 0
+			for d := 0; d < e.cfg.DestsPerEntry; d++ {
+				if en.dests[d] == int32(delta) {
+					if en.conf[d] < 3 {
+						en.conf[d]++
+					}
+					return
+				}
+				if en.conf[d] < en.conf[weakest] {
+					weakest = d
+				}
+			}
+			if en.conf[weakest] > 0 {
+				en.conf[weakest]--
+				return
+			}
+			en.dests[weakest] = int32(delta)
+			en.conf[weakest] = 1
+			return
+		}
+	}
+	// Allocate: prefer invalid, else LRU.
+	victim := -1
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for w := 1; w < len(ways); w++ {
+			if ways[w].stamp < ways[victim].stamp {
+				victim = w
+			}
+		}
+		e.Stats.Evictions++
+	}
+	var en entry
+	en.tag = tag
+	en.valid = true
+	en.stamp = cycle
+	en.dests[0] = int32(delta)
+	en.conf[0] = 1
+	ways[victim] = en
+}

@@ -1,0 +1,115 @@
+package eip
+
+import (
+	"testing"
+
+	"udpsim/internal/isa"
+)
+
+func ln(i int) isa.Addr { return isa.Addr(0x400000 + i*isa.LineBytes) }
+
+func TestEntanglingLearnsMissPair(t *testing.T) {
+	e := New(DefaultConfig())
+	// Access Y at cycle 100, then X misses at cycle 200 (≥ latency
+	// after Y): X becomes entangled with Y.
+	e.OnDemandAccess(ln(1), true, 100)
+	e.OnDemandAccess(ln(50), false, 200)
+	if e.Stats.Trainings == 0 {
+		t.Fatal("no training")
+	}
+	// A later access to Y must suggest X.
+	out := e.OnDemandAccess(ln(1), true, 300)
+	found := false
+	for _, l := range out {
+		if l == ln(50) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("entangled destination not suggested: %v", out)
+	}
+}
+
+func TestNoSuggestionWithoutTraining(t *testing.T) {
+	e := New(DefaultConfig())
+	if out := e.OnDemandAccess(ln(1), true, 100); len(out) != 0 {
+		t.Errorf("untrained prefetcher suggested %v", out)
+	}
+}
+
+func TestNoSourceWithinLatencyWindow(t *testing.T) {
+	e := New(DefaultConfig())
+	e.OnDemandAccess(ln(1), true, 100)
+	// Miss arrives only 5 cycles later: too close to cover the
+	// latency, no training possible against that access.
+	e.OnDemandAccess(ln(50), false, 105)
+	if e.Stats.Trainings != 0 {
+		t.Errorf("trained with %d-cycle lead", 5)
+	}
+}
+
+func TestConfidenceGrows(t *testing.T) {
+	e := New(DefaultConfig())
+	for round := 0; round < 4; round++ {
+		c := uint64(round * 1000)
+		e.OnDemandAccess(ln(1), true, c+100)
+		e.OnDemandAccess(ln(50), false, c+200)
+	}
+	out := e.OnDemandAccess(ln(1), true, 10_000)
+	if len(out) == 0 {
+		t.Error("repeated pattern not predicted")
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	e := New(DefaultConfig())
+	b := e.StorageBytes()
+	// Fig. 13 compares at 8KB.
+	if b < 6*1024 || b > 10*1024 {
+		t.Errorf("storage %d bytes not in the 8KB class", b)
+	}
+}
+
+func TestTableEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sets = 2
+	cfg.Ways = 1
+	e := New(cfg)
+	// Train many distinct sources; the 2-entry table must evict.
+	for i := 0; i < 16; i++ {
+		c := uint64(i * 1000)
+		e.OnDemandAccess(ln(i*17+1), true, c+100)
+		e.OnDemandAccess(ln(i*17+9), false, c+200)
+	}
+	if e.Stats.Evictions == 0 {
+		t.Error("no evictions under pressure")
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 1, DestsPerEntry: 2},
+		{Sets: 3, Ways: 1, DestsPerEntry: 2},
+		{Sets: 4, Ways: 0, DestsPerEntry: 2},
+		{Sets: 4, Ways: 1, DestsPerEntry: 0},
+		{Sets: 4, Ways: 1, DestsPerEntry: 5},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestOnFillIsNoop(t *testing.T) {
+	e := New(DefaultConfig())
+	e.OnFill(ln(1), 100) // must not panic or change state
+	if e.Stats.Trainings != 0 {
+		t.Error("OnFill trained")
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/workload"
+)
+
+// Descriptor is a JSON experiment specification, the equivalent of the
+// paper artifact's isca.json: a cross product of workloads and
+// configurations to simulate, with per-configuration overrides.
+//
+// Example:
+//
+//	{
+//	  "name": "isca2024-udp",
+//	  "workloads": ["mysql", "xgboost"],
+//	  "instructions": 500000,
+//	  "warmup": 2000000,
+//	  "simpoints": 2,
+//	  "configs": [
+//	    {"label": "baseline", "mechanism": "baseline"},
+//	    {"label": "udp", "mechanism": "udp"},
+//	    {"label": "ftq64", "mechanism": "baseline", "ftq": 64},
+//	    {"label": "smallbtb", "mechanism": "udp", "btb": 1024}
+//	  ]
+//	}
+type Descriptor struct {
+	Name         string       `json:"name"`
+	Workloads    []string     `json:"workloads"`
+	Instructions uint64       `json:"instructions"`
+	Warmup       uint64       `json:"warmup"`
+	Simpoints    int          `json:"simpoints"`
+	Configs      []ConfigSpec `json:"configs"`
+}
+
+// ConfigSpec is one machine configuration in a descriptor.
+type ConfigSpec struct {
+	Label     string `json:"label"`
+	Mechanism string `json:"mechanism"`
+	// Optional overrides (zero = Table II default).
+	FTQ        int `json:"ftq,omitempty"`
+	BTB        int `json:"btb,omitempty"`
+	ICacheKB   int `json:"icache_kb,omitempty"`
+	ICacheWays int `json:"icache_ways,omitempty"`
+}
+
+// ParseDescriptor reads and validates a JSON descriptor.
+func ParseDescriptor(r io.Reader) (*Descriptor, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var d Descriptor
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("experiments: parsing descriptor: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate reports structural problems.
+func (d *Descriptor) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("experiments: descriptor needs a name")
+	}
+	if len(d.Configs) == 0 {
+		return fmt.Errorf("experiments: descriptor %q has no configs", d.Name)
+	}
+	if len(d.Workloads) == 0 {
+		d.Workloads = append(d.Workloads, workload.Names...)
+	}
+	for _, w := range d.Workloads {
+		if _, ok := workload.ByName(w); !ok {
+			return fmt.Errorf("experiments: unknown workload %q", w)
+		}
+	}
+	seen := map[string]bool{}
+	for i, c := range d.Configs {
+		if c.Label == "" {
+			return fmt.Errorf("experiments: config %d has no label", i)
+		}
+		if seen[c.Label] {
+			return fmt.Errorf("experiments: duplicate config label %q", c.Label)
+		}
+		seen[c.Label] = true
+		valid := false
+		for _, m := range sim.Mechanisms() {
+			if string(m) == c.Mechanism {
+				valid = true
+			}
+		}
+		if !valid {
+			return fmt.Errorf("experiments: config %q has unknown mechanism %q", c.Label, c.Mechanism)
+		}
+	}
+	if d.Instructions == 0 {
+		d.Instructions = 500_000
+	}
+	if d.Simpoints <= 0 {
+		d.Simpoints = 1
+	}
+	return nil
+}
+
+// DescriptorResult is one (workload, config) cell of the run.
+type DescriptorResult struct {
+	Workload string
+	Label    string
+	Result   sim.Result
+}
+
+// RunDescriptor executes the full cross product; progress (if non-nil)
+// receives one line per completed cell.
+func RunDescriptor(d *Descriptor, progress func(string)) ([]DescriptorResult, error) {
+	var out []DescriptorResult
+	for _, w := range d.Workloads {
+		prof := workload.MustByName(w)
+		for _, cs := range d.Configs {
+			cfg := sim.NewConfig(prof, sim.Mechanism(cs.Mechanism))
+			cfg.MaxInstructions = d.Instructions
+			cfg.WarmupInstructions = d.Warmup
+			if cs.FTQ > 0 {
+				cfg.FTQDepth = cs.FTQ
+			}
+			if cs.BTB > 0 {
+				cfg.BTBEntries = cs.BTB
+			}
+			if cs.ICacheKB > 0 {
+				cfg.ICacheBytes = cs.ICacheKB * 1024
+			}
+			if cs.ICacheWays > 0 {
+				cfg.ICacheWays = cs.ICacheWays
+			}
+			_, agg, err := sim.RunSimpoints(cfg, d.Simpoints)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", w, cs.Label, err)
+			}
+			out = append(out, DescriptorResult{Workload: w, Label: cs.Label, Result: agg})
+			if progress != nil {
+				progress(fmt.Sprintf("%s/%s: IPC %.4f", w, cs.Label, agg.IPC))
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV emits the descriptor results as a CSV with one row per cell.
+func WriteCSV(w io.Writer, results []DescriptorResult) error {
+	if _, err := fmt.Fprintln(w, "workload,config,ipc,icache_mpki,branch_mpki,timeliness,onpath_ratio,usefulness,mean_ftq_occ,lost_pki,prefetches,dropped"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		res := r.Result
+		if _, err := fmt.Fprintf(w, "%s,%s,%.4f,%.2f,%.2f,%.3f,%.3f,%.3f,%.1f,%.0f,%d,%d\n",
+			r.Workload, r.Label, res.IPC, res.IcacheMPKI, res.BranchMPKI,
+			res.Timeliness, res.OnPathRatio, res.Usefulness,
+			res.MeanFTQOcc, res.LostInstrsPKI, res.PrefetchesEmitted, res.PrefetchesDropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpeedupTable pivots descriptor results into per-workload speedups
+// over a base config label.
+func SpeedupTable(results []DescriptorResult, baseLabel string) ([]SpeedupRow, error) {
+	base := map[string]sim.Result{}
+	for _, r := range results {
+		if r.Label == baseLabel {
+			base[r.Workload] = r.Result
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("experiments: no results for base label %q", baseLabel)
+	}
+	byApp := map[string]map[string]float64{}
+	for _, r := range results {
+		if r.Label == baseLabel {
+			continue
+		}
+		b, ok := base[r.Workload]
+		if !ok {
+			continue
+		}
+		if byApp[r.Workload] == nil {
+			byApp[r.Workload] = map[string]float64{}
+		}
+		byApp[r.Workload][r.Label] = r.Result.Speedup(b)
+	}
+	apps := make([]string, 0, len(byApp))
+	for a := range byApp {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	var rows []SpeedupRow
+	for _, a := range apps {
+		rows = append(rows, SpeedupRow{App: a, Speedups: byApp[a]})
+	}
+	return rows, nil
+}

@@ -1,0 +1,531 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each Figure/Table function runs the required simulations
+// and returns structured rows that cmd/figures renders and the benchmark
+// harness asserts over.
+//
+// Shapes — who wins, by roughly what factor, where crossovers fall —
+// are the reproduction target; absolute values differ from the paper's
+// Scarab/trace setup (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/workload"
+)
+
+// Options controls simulation effort; the defaults match cmd/figures.
+type Options struct {
+	// Instructions per simulated region (after warmup).
+	Instructions uint64
+	// Warmup instructions per region. Large-footprint learning
+	// mechanisms (UDP) need multi-pass warmups.
+	Warmup uint64
+	// Simpoints per application.
+	Simpoints int
+	// Workloads restricts the evaluated applications (default: all 10).
+	Workloads []string
+	// Progress, when non-nil, receives a line per completed run.
+	Progress func(string)
+}
+
+// DefaultOptions returns the evaluation configuration used by
+// cmd/figures: regions are long enough for UDP's useful-set to converge
+// on the multi-MB footprints.
+func DefaultOptions() Options {
+	return Options{
+		Instructions: 500_000,
+		Warmup:       2_000_000,
+		Simpoints:    1,
+	}
+}
+
+// QuickOptions returns a configuration for fast smoke runs (unit tests,
+// -short benchmarks).
+func QuickOptions() Options {
+	return Options{
+		Instructions: 120_000,
+		Warmup:       150_000,
+		Simpoints:    1,
+	}
+}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workload.Names
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// resultCache memoizes completed runs process-wide: several figures
+// share configurations (every speedup figure needs the same baselines,
+// Fig. 11/12 and Table III all need the Fig. 3 sweep), and simulations
+// are deterministic, so recomputing them is pure waste.
+var (
+	resultMu    sync.Mutex
+	resultCache = map[string]sim.Result{}
+)
+
+// run executes one configuration over the option's simpoints.
+func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) (sim.Result, error) {
+	prof := workload.MustByName(name)
+	cfg := sim.NewConfig(prof, mech)
+	cfg.MaxInstructions = o.Instructions
+	cfg.WarmupInstructions = o.Warmup
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	key := fmt.Sprintf("%+v|%d", cfg, o.Simpoints)
+	resultMu.Lock()
+	cached, ok := resultCache[key]
+	resultMu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	_, agg, err := sim.RunSimpoints(cfg, o.Simpoints)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	resultMu.Lock()
+	resultCache[key] = agg
+	resultMu.Unlock()
+	o.progress("%s/%s ftq=%d: IPC %.4f", name, mech, agg.FinalFTQDepth, agg.IPC)
+	return agg, nil
+}
+
+// SpeedupRow is one bar of a speedup figure.
+type SpeedupRow struct {
+	App string
+	// Speedups maps series name to fractional IPC speedup over the
+	// app's baseline.
+	Speedups map[string]float64
+}
+
+// SweepSeries is one application's line across a parameter sweep.
+type SweepSeries struct {
+	App    string
+	X      []int     // parameter values (FTQ depth, BTB entries)
+	Values []float64 // metric at each X
+}
+
+// FTQDepths is the sweep grid used for Figs. 3-6 and 8.
+var FTQDepths = []int{8, 12, 16, 24, 32, 48, 64, 96, 128}
+
+// sweepMetric runs the FTQ sweep collecting one metric per depth.
+func (o Options) sweepMetric(metric func(sim.Result) float64) ([]SweepSeries, error) {
+	var out []SweepSeries
+	for _, app := range o.workloads() {
+		s := SweepSeries{App: app, X: FTQDepths}
+		for _, d := range FTQDepths {
+			depth := d
+			r, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = depth })
+			if err != nil {
+				return nil, err
+			}
+			s.Values = append(s.Values, metric(r))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure1 measures the IPC speedup of a perfect icache over the FDIP-32
+// baseline for each application.
+func Figure1(o Options) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, app := range o.workloads() {
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, err
+		}
+		perfect, err := o.run(app, sim.MechPerfectICache, nil)
+		if err != nil {
+			return nil, err
+		}
+		nopf, err := o.run(app, sim.MechNoPrefetch, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedupRow{App: app, Speedups: map[string]float64{
+			"perfect-icache": perfect.Speedup(base),
+			"no-prefetch":    nopf.Speedup(base),
+		}})
+	}
+	return rows, nil
+}
+
+// Figure3 sweeps FTQ depth and reports the IPC speedup over depth 32
+// per application, plus the per-app optimum.
+func Figure3(o Options) ([]SweepSeries, map[string]int, error) {
+	series, err := o.sweepMetric(func(r sim.Result) float64 { return r.IPC })
+	if err != nil {
+		return nil, nil, err
+	}
+	// Locate optima on the raw IPCs, then normalize to depth 32.
+	optima := make(map[string]int)
+	for i := range series {
+		s := &series[i]
+		bestIdx := 0
+		for j, v := range s.Values {
+			if v > s.Values[bestIdx] {
+				bestIdx = j
+			}
+		}
+		optima[s.App] = s.X[bestIdx]
+		base := valueAt(s, 32)
+		if base > 0 {
+			for j, v := range s.Values {
+				s.Values[j] = v/base - 1
+			}
+		}
+	}
+	return series, optima, nil
+}
+
+// Figure4 reports the timeliness ratio across FTQ depths.
+func Figure4(o Options) ([]SweepSeries, error) {
+	return o.sweepMetric(func(r sim.Result) float64 { return r.Timeliness })
+}
+
+// Figure5 reports the on-path prefetch ratio across FTQ depths.
+func Figure5(o Options) ([]SweepSeries, error) {
+	return o.sweepMetric(func(r sim.Result) float64 { return r.OnPathRatio })
+}
+
+// Figure6 reports prefetch usefulness across FTQ depths.
+func Figure6(o Options) ([]SweepSeries, error) {
+	return o.sweepMetric(func(r sim.Result) float64 { return r.Usefulness })
+}
+
+// Figure8 reports mean FTQ occupancy across FTQ depths.
+func Figure8(o Options) ([]SweepSeries, error) {
+	return o.sweepMetric(func(r sim.Result) float64 { return r.MeanFTQOcc })
+}
+
+// Table3Row is one application's line of Table III.
+type Table3Row struct {
+	App        string
+	OptimalFTQ int
+	Utility    float64 // usefulness at FTQ=32
+	Timeliness float64 // timeliness at FTQ=32
+}
+
+// Table3 reproduces the optimal-FTQ/utility/timeliness table, including
+// the correlation coefficients between optimal depth and each ratio.
+func Table3(o Options) ([]Table3Row, float64, float64, error) {
+	_, optima, err := Figure3(o)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var rows []Table3Row
+	for _, app := range o.workloads() {
+		r, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rows = append(rows, Table3Row{
+			App:        app,
+			OptimalFTQ: optima[app],
+			Utility:    r.Usefulness,
+			Timeliness: r.Timeliness,
+		})
+	}
+	var fs, us, ts []float64
+	for _, r := range rows {
+		fs = append(fs, float64(r.OptimalFTQ))
+		us = append(us, r.Utility)
+		ts = append(ts, r.Timeliness)
+	}
+	return rows, Correlation(fs, us), Correlation(fs, ts), nil
+}
+
+// UFTQSeries are the mechanisms of Fig. 11/12.
+var UFTQSeries = []sim.Mechanism{sim.MechUFTQAUR, sim.MechUFTQATR, sim.MechUFTQATRAUR}
+
+// Figure11 compares the UFTQ variants and the OPT oracle (per-app best
+// fixed depth from the Fig. 3 sweep) against the FDIP-32 baseline.
+func Figure11(o Options) ([]SpeedupRow, map[string]int, error) {
+	_, optima, err := Figure3(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []SpeedupRow
+	for _, app := range o.workloads() {
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := SpeedupRow{App: app, Speedups: map[string]float64{}}
+		for _, mech := range UFTQSeries {
+			r, err := o.run(app, mech, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.Speedups[string(mech)] = r.Speedup(base)
+		}
+		opt := optima[app]
+		r, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = opt })
+		if err != nil {
+			return nil, nil, err
+		}
+		row.Speedups["opt"] = r.Speedup(base)
+		rows = append(rows, row)
+	}
+	return rows, optima, nil
+}
+
+// MPKIRow is one application's icache MPKI under several mechanisms.
+type MPKIRow struct {
+	App  string
+	MPKI map[string]float64
+}
+
+// Figure12 reports icache MPKI for baseline, the UFTQ variants, and OPT.
+func Figure12(o Options) ([]MPKIRow, error) {
+	_, optima, err := Figure3(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MPKIRow
+	for _, app := range o.workloads() {
+		row := MPKIRow{App: app, MPKI: map[string]float64{}}
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.MPKI["baseline"] = base.IcacheMPKI
+		for _, mech := range UFTQSeries {
+			r, err := o.run(app, mech, nil)
+			if err != nil {
+				return nil, err
+			}
+			row.MPKI[string(mech)] = r.IcacheMPKI
+		}
+		opt := optima[app]
+		r, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = opt })
+		if err != nil {
+			return nil, err
+		}
+		row.MPKI["opt"] = r.IcacheMPKI
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// UDPSeries are the mechanisms of Fig. 13-15 (besides the baseline):
+// UDP with the 8KB Bloom useful-set, the infinite-storage upper bound,
+// the EIP 8KB comparator, and the ISO-storage 40KiB icache.
+var UDPSeries = []string{"udp", "udp-infinite", "eip", "icache-40k"}
+
+// Figure13 compares UDP, Infinite Storage, EIP-8KB and a 40K icache
+// against the FDIP-32 baseline.
+func Figure13(o Options) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, app := range o.workloads() {
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := SpeedupRow{App: app, Speedups: map[string]float64{}}
+		for _, series := range UDPSeries {
+			r, err := o.runUDPSeries(app, series)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups[series] = r.Speedup(base)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (o Options) runUDPSeries(app, series string) (sim.Result, error) {
+	switch series {
+	case "udp":
+		return o.run(app, sim.MechUDP, nil)
+	case "udp-infinite":
+		return o.run(app, sim.MechUDPInfinite, nil)
+	case "eip":
+		return o.run(app, sim.MechEIP, nil)
+	case "icache-40k":
+		return o.run(app, sim.MechBaseline, func(c *sim.Config) {
+			c.ICacheBytes = 40 * 1024
+			c.ICacheWays = 10
+		})
+	default:
+		return sim.Result{}, fmt.Errorf("experiments: unknown UDP series %q", series)
+	}
+}
+
+// Figure14 reports icache MPKI for the baseline and the Fig. 13 series.
+func Figure14(o Options) ([]MPKIRow, error) {
+	var rows []MPKIRow
+	for _, app := range o.workloads() {
+		row := MPKIRow{App: app, MPKI: map[string]float64{}}
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.MPKI["baseline"] = base.IcacheMPKI
+		for _, series := range UDPSeries {
+			r, err := o.runUDPSeries(app, series)
+			if err != nil {
+				return nil, err
+			}
+			row.MPKI[series] = r.IcacheMPKI
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// LostRow is one application's instructions-lost-to-icache-miss count
+// (per kilo-instruction) under several mechanisms.
+type LostRow struct {
+	App  string
+	Lost map[string]float64
+}
+
+// Figure15 reports instructions lost to icache-miss fetch stalls.
+func Figure15(o Options) ([]LostRow, error) {
+	var rows []LostRow
+	for _, app := range o.workloads() {
+		row := LostRow{App: app, Lost: map[string]float64{}}
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.Lost["baseline"] = base.LostInstrsPKI
+		for _, series := range UDPSeries {
+			r, err := o.runUDPSeries(app, series)
+			if err != nil {
+				return nil, err
+			}
+			row.Lost[series] = r.LostInstrsPKI
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BTBSizes is the Fig. 16 sensitivity grid.
+var BTBSizes = []int{1024, 2048, 4096, 8192, 16384}
+
+// Figure16 reports UDP's speedup over the baseline at each BTB size.
+func Figure16(o Options) ([]SweepSeries, error) {
+	var out []SweepSeries
+	for _, app := range o.workloads() {
+		s := SweepSeries{App: app, X: BTBSizes}
+		for _, n := range BTBSizes {
+			entries := n
+			base, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.BTBEntries = entries })
+			if err != nil {
+				return nil, err
+			}
+			udp, err := o.run(app, sim.MechUDP, func(c *sim.Config) { c.BTBEntries = entries })
+			if err != nil {
+				return nil, err
+			}
+			s.Values = append(s.Values, udp.Speedup(base))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// UDPFTQSizes is the Fig. 17 sensitivity grid.
+var UDPFTQSizes = []int{16, 32, 64, 128}
+
+// Figure17 reports UDP's speedup over a same-depth baseline at each FTQ
+// size.
+func Figure17(o Options) ([]SweepSeries, error) {
+	var out []SweepSeries
+	for _, app := range o.workloads() {
+		s := SweepSeries{App: app, X: UDPFTQSizes}
+		for _, d := range UDPFTQSizes {
+			depth := d
+			base, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = depth })
+			if err != nil {
+				return nil, err
+			}
+			udp, err := o.run(app, sim.MechUDP, func(c *sim.Config) { c.FTQDepth = depth })
+			if err != nil {
+				return nil, err
+			}
+			s.Values = append(s.Values, udp.Speedup(base))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// valueAt returns the series value at parameter x (0 if absent).
+func valueAt(s *SweepSeries, x int) float64 {
+	for i, v := range s.X {
+		if v == x {
+			return s.Values[i]
+		}
+	}
+	return 0
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples.
+func Correlation(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (sqrt(sxx) * sqrt(syy))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// SortedSeriesNames returns the map keys of a speedup row in stable
+// order for rendering.
+func SortedSeriesNames(rows []SpeedupRow) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range rows {
+		for k := range r.Speedups {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

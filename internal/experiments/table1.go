@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/trace"
+	"udpsim/internal/workload"
+)
+
+// Table1Row characterizes one application, mirroring the workload table
+// papers of this genre lead their evaluation with: static and dynamic
+// instruction footprint, branch density, and baseline miss rates.
+type Table1Row struct {
+	App string
+	// StaticKB is the generated code image size.
+	StaticKB int
+	// DynamicKB is the instruction footprint touched in the
+	// characterization window.
+	DynamicKB int
+	// BranchPct is the fraction of dynamic instructions that are
+	// control transfers.
+	BranchPct float64
+	// TakenPct is the fraction of dynamic instructions that redirect
+	// fetch.
+	TakenPct float64
+	// IcacheMPKI and BranchMPKI are the FDIP-32 baseline rates.
+	IcacheMPKI float64
+	BranchMPKI float64
+	// BaselineIPC is the FDIP-32 IPC.
+	BaselineIPC float64
+}
+
+// Table1 builds the workload characterization table.
+func Table1(o Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, app := range o.workloads() {
+		prof := workload.MustByName(app)
+		prog, err := sim.SharedImage(prof)
+		if err != nil {
+			return nil, err
+		}
+
+		// Dynamic characterization from a recorded window.
+		var buf bytes.Buffer
+		n := o.Instructions
+		if n < 100_000 {
+			n = 100_000
+		}
+		if err := trace.RecordN(&buf, prof, 0, n); err != nil {
+			return nil, err
+		}
+		r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		st, err := trace.Analyze(prog, r)
+		if err != nil {
+			return nil, err
+		}
+
+		base, err := o.run(app, sim.MechBaseline, nil)
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, Table1Row{
+			App:         app,
+			StaticKB:    prog.FootprintBytes() / 1024,
+			DynamicKB:   st.FootprintBytes() / 1024,
+			BranchPct:   float64(st.Branches) / float64(st.Instructions) * 100,
+			TakenPct:    st.TakenRatio() * 100,
+			IcacheMPKI:  base.IcacheMPKI,
+			BranchMPKI:  base.BranchMPKI,
+			BaselineIPC: base.IPC,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,113 @@
+package frontend
+
+import (
+	"testing"
+
+	"udpsim/internal/bp"
+	"udpsim/internal/btb"
+	"udpsim/internal/cache"
+	"udpsim/internal/isa"
+	"udpsim/internal/memory"
+	"udpsim/internal/workload"
+)
+
+// superTuner tags everything off-path and emits 4-line super-prefetches
+// for every candidate.
+type superTuner struct {
+	NopTuner
+	candidates int
+}
+
+func (s *superTuner) AssumeOffPath() bool          { return true }
+func (s *superTuner) OnCandidate(isa.Addr)         { s.candidates++ }
+func (s *superTuner) FilterCandidate(isa.Addr) int { return 4 }
+
+func buildSmallFrontend(t *testing.T, tuner Tuner, mshrs int) *Frontend {
+	t.Helper()
+	p := workload.MustByName("mysql")
+	p.Funcs = 50
+	p.DispatchTargets = 35
+	prog, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := memory.New(memory.Config{
+		L1D:       cache.Config{Name: "L1D", SizeBytes: 16 * 1024, Ways: 8, HitLatency: 4},
+		L2:        cache.Config{Name: "L2", SizeBytes: 128 * 1024, Ways: 8},
+		LLC:       cache.Config{Name: "LLC", SizeBytes: 512 * 1024, Ways: 8},
+		L2Latency: 13, LLCLatency: 36, DRAMLatency: 150, DRAMBurstCycles: 10,
+	})
+	return New(Config{
+		MSHRs: mshrs,
+		L1I:   cache.Config{Name: "L1I", SizeBytes: 4 * 1024, Ways: 4, HitLatency: 3},
+	}, Deps{
+		Program:  prog,
+		Oracle:   NewOracleStream(workload.NewExecutor(prog, 0)),
+		Dir:      bp.NewTage(bp.DefaultTageConfig()),
+		BTB:      btb.New(btb.Config{Entries: 512, Ways: 4}),
+		IndirBTB: btb.NewIndirect(256),
+		Hier:     hier,
+		Tuner:    tuner,
+	})
+}
+
+func TestSuperLineEmission(t *testing.T) {
+	st := &superTuner{}
+	fe := buildSmallFrontend(t, st, 32)
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 30_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if st.candidates == 0 {
+		t.Fatal("no candidates under forced off-path assumption")
+	}
+	if fe.Stats.SuperLinePrefetches == 0 {
+		t.Error("4-line filter hits produced no super-line prefetches")
+	}
+	if fe.Stats.PrefetchesEmitted <= fe.Stats.SuperLinePrefetches {
+		t.Error("accounting: super-lines exceed total emissions")
+	}
+}
+
+// dropTuner drops every assumed-off-path candidate.
+type dropTuner struct {
+	NopTuner
+}
+
+func (dropTuner) AssumeOffPath() bool          { return true }
+func (dropTuner) FilterCandidate(isa.Addr) int { return 0 }
+
+func TestDroppedCandidatesCounted(t *testing.T) {
+	fe := buildSmallFrontend(t, dropTuner{}, 32)
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 30_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if fe.Stats.PrefetchesDropped == 0 {
+		t.Error("dropping filter never dropped")
+	}
+	if fe.Stats.PrefetchesEmitted != 0 {
+		t.Errorf("%d prefetches emitted despite dropping filter", fe.Stats.PrefetchesEmitted)
+	}
+	// With no prefetching, demand misses must appear.
+	if fe.Stats.DemandMisses == 0 {
+		t.Error("no demand misses with all prefetches dropped")
+	}
+}
+
+func TestTinyMSHRFilePressure(t *testing.T) {
+	fe := buildSmallFrontend(t, nil, 1)
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 30_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if fe.MSHRs().Stats.AllocFailures == 0 {
+		t.Error("single-entry MSHR file never filled")
+	}
+	if c.retired < 5_000 {
+		t.Errorf("frontend starved under MSHR pressure: %d", c.retired)
+	}
+}

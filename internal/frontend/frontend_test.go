@@ -1,0 +1,245 @@
+package frontend
+
+import (
+	"testing"
+
+	"udpsim/internal/bp"
+	"udpsim/internal/btb"
+	"udpsim/internal/cache"
+	"udpsim/internal/isa"
+	"udpsim/internal/memory"
+	"udpsim/internal/workload"
+)
+
+// buildFrontend wires a frontend over a small generated program with a
+// trivial uncore.
+func buildFrontend(t *testing.T, tuner Tuner) (*Frontend, *workload.Program) {
+	t.Helper()
+	p := workload.MustByName("mysql")
+	p.Funcs = 50
+	p.DispatchTargets = 35
+	prog, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := memory.New(memory.Config{
+		L1D:       cache.Config{Name: "L1D", SizeBytes: 16 * 1024, Ways: 8, HitLatency: 4},
+		L2:        cache.Config{Name: "L2", SizeBytes: 128 * 1024, Ways: 8},
+		LLC:       cache.Config{Name: "LLC", SizeBytes: 512 * 1024, Ways: 8},
+		L2Latency: 13, LLCLatency: 36, DRAMLatency: 150, DRAMBurstCycles: 10,
+	})
+	fe := New(Config{
+		FTQDepth: 32, FTQPhysMax: 64,
+		L1I: cache.Config{Name: "L1I", SizeBytes: 8 * 1024, Ways: 8, HitLatency: 3},
+	}, Deps{
+		Program:  prog,
+		Oracle:   NewOracleStream(workload.NewExecutor(prog, 0)),
+		Dir:      bp.NewTage(bp.DefaultTageConfig()),
+		BTB:      btb.New(btb.Config{Entries: 512, Ways: 4}),
+		IndirBTB: btb.NewIndirect(256),
+		Hier:     hier,
+		Tuner:    tuner,
+	})
+	return fe, prog
+}
+
+// scalarConsumer is a minimal in-order backend stand-in: it decodes one
+// instruction per cycle and resolves any diverging branch a fixed
+// number of cycles later.
+type scalarConsumer struct {
+	fe        *Frontend
+	pending   *FrontInstr
+	resolveAt uint64
+	retired   uint64
+	onPath    uint64
+}
+
+func (c *scalarConsumer) cycle(cycle uint64) {
+	if c.pending != nil {
+		if cycle < c.resolveAt {
+			return
+		}
+		c.fe.Recover(c.pending, cycle)
+		c.pending = nil
+	}
+	fi := c.fe.PopDecode()
+	if fi == nil {
+		return
+	}
+	c.retired++
+	if fi.OnPath {
+		c.onPath++
+	}
+	c.fe.OnDecode(fi, cycle)
+	// A divergence that post-fetch correction did not heal resolves at
+	// "execute", a few cycles later.
+	if fi.Divergence != nil {
+		c.pending = fi
+		c.resolveAt = cycle + 5
+	}
+}
+
+func TestFrontendStandaloneProgress(t *testing.T) {
+	fe, _ := buildFrontend(t, nil)
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 200_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if c.retired < 100_000 {
+		t.Fatalf("consumed only %d instructions", c.retired)
+	}
+	s := fe.Stats
+	// Every divergence class must occur on a branchy workload with a
+	// small BTB, and every recovery path must fire.
+	if s.DivergencesDirection == 0 {
+		t.Error("no direction mispredictions")
+	}
+	if s.DivergencesBTBMiss == 0 {
+		t.Error("no BTB-miss divergences")
+	}
+	if s.Recoveries == 0 {
+		t.Error("no execute-time recoveries")
+	}
+	if s.PostFetchResteers == 0 || s.PostFetchRecoveries == 0 {
+		t.Errorf("post-fetch correction inactive: %d resteers, %d recoveries",
+			s.PostFetchResteers, s.PostFetchRecoveries)
+	}
+	if s.PrefetchesEmitted == 0 {
+		t.Error("FDIP emitted nothing")
+	}
+	if s.PostFetchDiscoveries < s.PostFetchResteers {
+		t.Error("more resteers than discoveries")
+	}
+}
+
+// TestFrontendHealsAfterRecovery: after every recovery the frontend
+// must be back on the oracle path.
+func TestFrontendHealsAfterRecovery(t *testing.T) {
+	fe, _ := buildFrontend(t, nil)
+	c := &scalarConsumer{fe: fe}
+	recoveries := 0
+	for cyc := uint64(1); cyc < 100_000; cyc++ {
+		fe.Cycle(cyc)
+		before := c.pending != nil && cyc >= c.resolveAt
+		c.cycle(cyc)
+		if before {
+			recoveries++
+			if !fe.OnOraclePath() {
+				t.Fatalf("frontend off-path right after recovery at cycle %d", cyc)
+			}
+		}
+	}
+	if recoveries == 0 {
+		t.Skip("no recoveries observed")
+	}
+}
+
+// TestPerfectICacheNeverStalls: the perfect-icache frontend never
+// reports fetch stalls or misses.
+func TestPerfectICacheNeverStalls(t *testing.T) {
+	p := workload.MustByName("mysql")
+	p.Funcs = 50
+	p.DispatchTargets = 35
+	prog := workload.MustGenerate(p)
+	hier := memory.New(memory.Config{
+		L1D:       cache.Config{Name: "L1D", SizeBytes: 16 * 1024, Ways: 8, HitLatency: 4},
+		L2:        cache.Config{Name: "L2", SizeBytes: 128 * 1024, Ways: 8},
+		LLC:       cache.Config{Name: "LLC", SizeBytes: 512 * 1024, Ways: 8},
+		L2Latency: 13, LLCLatency: 36, DRAMLatency: 150, DRAMBurstCycles: 10,
+	})
+	fe := New(Config{
+		PerfectICache: true,
+		L1I:           cache.Config{Name: "L1I", SizeBytes: 8 * 1024, Ways: 8, HitLatency: 3},
+	}, Deps{
+		Program:  prog,
+		Oracle:   NewOracleStream(workload.NewExecutor(prog, 0)),
+		Dir:      bp.NewTage(bp.DefaultTageConfig()),
+		BTB:      btb.New(btb.Config{Entries: 512, Ways: 4}),
+		IndirBTB: btb.NewIndirect(256),
+		Hier:     hier,
+	})
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 50_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if fe.Stats.DemandMisses != 0 || fe.Stats.DemandFillBufHits != 0 {
+		t.Errorf("perfect icache missed: %+v", fe.Stats)
+	}
+	if fe.Stats.PrefetchesEmitted != 0 {
+		t.Errorf("perfect icache emitted %d prefetches", fe.Stats.PrefetchesEmitted)
+	}
+}
+
+// TestNoPrefetchEmitsNothing: the no-prefetch frontend must not emit.
+func TestNoPrefetchEmitsNothing(t *testing.T) {
+	p := workload.MustByName("mysql")
+	p.Funcs = 50
+	p.DispatchTargets = 35
+	prog := workload.MustGenerate(p)
+	hier := memory.New(memory.Config{
+		L1D:       cache.Config{Name: "L1D", SizeBytes: 16 * 1024, Ways: 8, HitLatency: 4},
+		L2:        cache.Config{Name: "L2", SizeBytes: 128 * 1024, Ways: 8},
+		LLC:       cache.Config{Name: "LLC", SizeBytes: 512 * 1024, Ways: 8},
+		L2Latency: 13, LLCLatency: 36, DRAMLatency: 150, DRAMBurstCycles: 10,
+	})
+	fe := New(Config{
+		NoPrefetch: true,
+		L1I:        cache.Config{Name: "L1I", SizeBytes: 8 * 1024, Ways: 8, HitLatency: 3},
+	}, Deps{
+		Program:  prog,
+		Oracle:   NewOracleStream(workload.NewExecutor(prog, 0)),
+		Dir:      bp.NewTage(bp.DefaultTageConfig()),
+		BTB:      btb.New(btb.Config{Entries: 512, Ways: 4}),
+		IndirBTB: btb.NewIndirect(256),
+		Hier:     hier,
+	})
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 50_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if fe.Stats.PrefetchesEmitted != 0 {
+		t.Errorf("no-prefetch emitted %d", fe.Stats.PrefetchesEmitted)
+	}
+	if fe.Stats.DemandMisses == 0 {
+		t.Error("no demand misses without prefetching on a cold icache")
+	}
+}
+
+// tunerRecorder checks the Tuner contract: every hook fires on a real
+// workload.
+type tunerRecorder struct {
+	NopTuner
+	conds, resteers, candidates, useful, useless, demand, seqEnds int
+}
+
+func (r *tunerRecorder) OnCondPrediction(bp.Confidence)   { r.conds++ }
+func (r *tunerRecorder) OnResteer(ResteerKind)            { r.resteers++ }
+func (r *tunerRecorder) OnCandidate(isa.Addr)             { r.candidates++ }
+func (r *tunerRecorder) OnPrefetchUseful(isa.Addr, bool)  { r.useful++ }
+func (r *tunerRecorder) OnPrefetchUseless(isa.Addr, bool) { r.useless++ }
+func (r *tunerRecorder) OnDemandFetch(bool, bool)         { r.demand++ }
+func (r *tunerRecorder) OnSequentialBlockEnd(isa.Addr)    { r.seqEnds++ }
+func (r *tunerRecorder) AssumeOffPath() bool              { return true }
+func (r *tunerRecorder) FilterCandidate(isa.Addr) int     { return 1 }
+
+func TestTunerHooksFire(t *testing.T) {
+	rec := &tunerRecorder{}
+	fe, _ := buildFrontend(t, rec)
+	c := &scalarConsumer{fe: fe}
+	for cyc := uint64(1); cyc < 100_000; cyc++ {
+		fe.Cycle(cyc)
+		c.cycle(cyc)
+	}
+	if rec.conds == 0 || rec.resteers == 0 || rec.demand == 0 || rec.seqEnds == 0 {
+		t.Errorf("hooks silent: %+v", rec)
+	}
+	if rec.candidates == 0 {
+		t.Error("no candidates despite AssumeOffPath=true")
+	}
+	if rec.useful == 0 && rec.useless == 0 {
+		t.Error("no prefetch outcomes observed")
+	}
+}

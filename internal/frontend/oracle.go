@@ -1,0 +1,68 @@
+package frontend
+
+import (
+	"fmt"
+
+	"udpsim/internal/isa"
+)
+
+// InstrSource produces the architectural (on-path) instruction stream:
+// a live workload executor, or a trace replayer.
+type InstrSource interface {
+	Next() isa.DynInstr
+}
+
+// oracleWindow bounds how far back the oracle stream can rewind. It must
+// exceed the maximum number of in-flight instructions (FTQ blocks ×
+// instructions per block + ROB); 1<<13 = 8192 is comfortably larger.
+const oracleWindow = 1 << 13
+
+// OracleStream buffers the architectural execution so the frontend can
+// consume it speculatively and rewind to a divergence point on recovery.
+// Positions are absolute instruction indices starting at 0.
+type OracleStream struct {
+	exec   InstrSource
+	buf    [oracleWindow]isa.DynInstr
+	filled uint64 // number of records generated so far
+	cursor uint64 // next position to consume
+}
+
+// NewOracleStream wraps an instruction source.
+func NewOracleStream(exec InstrSource) *OracleStream {
+	return &OracleStream{exec: exec}
+}
+
+// At returns the oracle record at absolute position i, generating
+// forward as needed. Rewinding further back than the window is a
+// modelling bug and panics.
+func (o *OracleStream) At(i uint64) isa.DynInstr {
+	if i+oracleWindow < o.filled {
+		panic(fmt.Sprintf("frontend: oracle rewind beyond window (want %d, filled %d)", i, o.filled))
+	}
+	for o.filled <= i {
+		o.buf[o.filled%oracleWindow] = o.exec.Next()
+		o.filled++
+	}
+	return o.buf[i%oracleWindow]
+}
+
+// Cursor returns the current consumption position.
+func (o *OracleStream) Cursor() uint64 { return o.cursor }
+
+// Consume returns the record at the cursor and advances it.
+func (o *OracleStream) Consume() isa.DynInstr {
+	d := o.At(o.cursor)
+	o.cursor++
+	return d
+}
+
+// Peek returns the record at the cursor without advancing.
+func (o *OracleStream) Peek() isa.DynInstr { return o.At(o.cursor) }
+
+// Rewind moves the cursor back to pos (a recovery).
+func (o *OracleStream) Rewind(pos uint64) {
+	if pos > o.cursor {
+		panic("frontend: oracle rewind forward")
+	}
+	o.cursor = pos
+}

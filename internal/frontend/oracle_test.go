@@ -1,0 +1,77 @@
+package frontend
+
+import (
+	"testing"
+
+	"udpsim/internal/isa"
+	"udpsim/internal/workload"
+)
+
+// countingSource yields a deterministic synthetic stream for oracle
+// tests.
+type countingSource struct {
+	n      uint64
+	static isa.StaticInstr
+}
+
+func (c *countingSource) Next() isa.DynInstr {
+	c.n++
+	return isa.DynInstr{Static: &c.static, Seq: c.n}
+}
+
+func TestOracleConsumePeekRewind(t *testing.T) {
+	o := NewOracleStream(&countingSource{})
+	first := o.Consume()
+	if first.Seq != 1 || o.Cursor() != 1 {
+		t.Fatalf("first = %d, cursor %d", first.Seq, o.Cursor())
+	}
+	if p := o.Peek(); p.Seq != 2 {
+		t.Fatalf("peek = %d", p.Seq)
+	}
+	for i := 0; i < 10; i++ {
+		o.Consume()
+	}
+	o.Rewind(1)
+	if got := o.Consume(); got.Seq != 2 {
+		t.Errorf("after rewind got %d, want 2", got.Seq)
+	}
+}
+
+func TestOracleRewindForwardPanics(t *testing.T) {
+	o := NewOracleStream(&countingSource{})
+	o.Consume()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	o.Rewind(5)
+}
+
+func TestOracleWindowOverflowPanics(t *testing.T) {
+	o := NewOracleStream(&countingSource{})
+	for i := 0; i < oracleWindow+100; i++ {
+		o.Consume()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-window rewind")
+		}
+	}()
+	o.At(0)
+}
+
+func TestOracleMatchesExecutor(t *testing.T) {
+	p := workload.MustByName("mysql")
+	p.Funcs = 30
+	p.DispatchTargets = 20
+	prog := workload.MustGenerate(p)
+	o := NewOracleStream(workload.NewExecutor(prog, 0))
+	ref := workload.NewExecutor(prog, 0)
+	for i := 0; i < 5000; i++ {
+		a, b := o.Consume(), ref.Next()
+		if a.PC() != b.PC() || a.Taken != b.Taken {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package frontend
+
+import (
+	"udpsim/internal/bp"
+	"udpsim/internal/isa"
+)
+
+// ResteerKind classifies frontend redirections for the tuner hooks.
+type ResteerKind uint8
+
+// Resteer kinds.
+const (
+	// ResteerRecovery is an execute-time branch misprediction recovery.
+	ResteerRecovery ResteerKind = iota
+	// ResteerPostFetch is a decode-time post-fetch correction after a
+	// BTB miss.
+	ResteerPostFetch
+)
+
+// Tuner is the hook surface through which the paper's mechanisms (UFTQ,
+// UDP) observe and steer the frontend. The baseline implementation is
+// inert. All methods are called from the single-threaded cycle loop.
+type Tuner interface {
+	// OnCondPrediction observes each conditional-branch prediction's
+	// confidence at fetch-block build time (drives UDP's off-path
+	// confidence counter).
+	OnCondPrediction(conf bp.Confidence)
+
+	// OnResteer notifies recoveries and post-fetch corrections (UDP
+	// resets its confidence counter; paper Section IV-B).
+	OnResteer(kind ResteerKind)
+
+	// AssumeOffPath reports whether the mechanism currently believes
+	// the frontend is on the wrong path; blocks built while true are
+	// tagged AssumedOffPath and their prefetch candidates filtered.
+	AssumeOffPath() bool
+
+	// FilterCandidate decides emission for a prefetch candidate line of
+	// an assumed-off-path block. It returns how many consecutive lines
+	// to emit (1, 2 or 4 — super-line hits) or 0 to drop the candidate.
+	FilterCandidate(line isa.Addr) int
+
+	// OnCandidate observes every assumed-off-path prefetch candidate
+	// (emitted or dropped) so UDP can track it in the Seniority-FTQ.
+	OnCandidate(line isa.Addr)
+
+	// OnRetire observes each retired instruction's line address
+	// (Seniority-FTQ matching: a retired instruction whose line matches
+	// a tracked candidate proves the candidate useful).
+	OnRetire(line isa.Addr)
+
+	// OnRetireTakenBranch observes the fetch-block address of each
+	// retired taken branch; UDP trains its hidden-taken-branch table
+	// with it (the hardware proxy for "the predictor says taken but the
+	// BTB has no entry", the paper's second off-path trigger).
+	OnRetireTakenBranch(block isa.Addr)
+
+	// OnSequentialBlockEnd fires when the prediction stage walks a
+	// whole fetch block without finding any predicted-taken branch;
+	// UDP consults its hidden-taken-branch table to suspect a BTB miss.
+	OnSequentialBlockEnd(block isa.Addr)
+
+	// OnPrefetchUseful/OnPrefetchUseless observe prefetch outcomes:
+	// a demand hit on a prefetched line (icache or fill buffer), or an
+	// eviction of a never-used prefetched line.
+	OnPrefetchUseful(line isa.Addr, offPath bool)
+	OnPrefetchUseless(line isa.Addr, offPath bool)
+
+	// OnDemandFetch observes each demand instruction-fetch block access
+	// (icacheHit, fill-buffer hit, or full miss) — the timeliness
+	// signal (paper Section III-C).
+	OnDemandFetch(icacheHit, fillBufferHit bool)
+
+	// TargetFTQDepth returns the FTQ capacity the mechanism wants,
+	// given the current one (UFTQ sizing; fixed-depth mechanisms return
+	// current).
+	TargetFTQDepth(current int) int
+}
+
+// NopTuner is the baseline: fixed FTQ depth, no filtering.
+type NopTuner struct{}
+
+// OnCondPrediction implements Tuner.
+func (NopTuner) OnCondPrediction(bp.Confidence) {}
+
+// OnResteer implements Tuner.
+func (NopTuner) OnResteer(ResteerKind) {}
+
+// AssumeOffPath implements Tuner.
+func (NopTuner) AssumeOffPath() bool { return false }
+
+// FilterCandidate implements Tuner.
+func (NopTuner) FilterCandidate(isa.Addr) int { return 1 }
+
+// OnCandidate implements Tuner.
+func (NopTuner) OnCandidate(isa.Addr) {}
+
+// OnRetire implements Tuner.
+func (NopTuner) OnRetire(isa.Addr) {}
+
+// OnRetireTakenBranch implements Tuner.
+func (NopTuner) OnRetireTakenBranch(isa.Addr) {}
+
+// OnSequentialBlockEnd implements Tuner.
+func (NopTuner) OnSequentialBlockEnd(isa.Addr) {}
+
+// OnPrefetchUseful implements Tuner.
+func (NopTuner) OnPrefetchUseful(isa.Addr, bool) {}
+
+// OnPrefetchUseless implements Tuner.
+func (NopTuner) OnPrefetchUseless(isa.Addr, bool) {}
+
+// OnDemandFetch implements Tuner.
+func (NopTuner) OnDemandFetch(bool, bool) {}
+
+// TargetFTQDepth implements Tuner.
+func (NopTuner) TargetFTQDepth(current int) int { return current }

@@ -1,0 +1,258 @@
+// Package memory wires the uncore of the simulated machine: the unified
+// L2, the shared LLC, a bandwidth-limited DRAM channel, and the stream
+// data prefetcher from Table II. The instruction side (L1I + its MSHRs)
+// lives in the frontend; this package serves its misses. The data side
+// (L1D) is owned here and accessed by the backend.
+package memory
+
+import (
+	"fmt"
+
+	"udpsim/internal/cache"
+	"udpsim/internal/isa"
+)
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelDRAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Config carries the uncore parameters (Table II defaults live in the
+// sim package).
+type Config struct {
+	L2         cache.Config
+	LLC        cache.Config
+	L1D        cache.Config
+	L2Latency  int // total load-to-use cycles for an L2 hit
+	LLCLatency int // total cycles for an LLC hit
+	// DRAMLatency is the access latency of the DRAM device itself,
+	// added on top of the LLC latency for a full miss.
+	DRAMLatency int
+	// DRAMBurstCycles is the channel occupancy per 64B line transfer;
+	// models DDR4-2400 single-channel bandwidth at 3 GHz.
+	DRAMBurstCycles int
+	// StreamPrefetcher enables the L1D stream prefetcher.
+	StreamPrefetcher bool
+	// StreamDistance is how many lines ahead the stream prefetcher runs.
+	StreamDistance int
+	// StreamStreams is the number of concurrently tracked streams.
+	StreamStreams int
+}
+
+// Stats aggregates uncore events.
+type Stats struct {
+	InstrFills       uint64
+	InstrL2Hits      uint64
+	InstrLLCHits     uint64
+	InstrDRAMFills   uint64
+	DataAccesses     uint64
+	DataL1Hits       uint64
+	DataL2Hits       uint64
+	DataLLCHits      uint64
+	DataDRAMFills    uint64
+	StreamPrefetches uint64
+	DRAMQueueCycles  uint64 // accumulated queueing delay
+}
+
+// Hierarchy is the uncore model.
+type Hierarchy struct {
+	cfg   Config
+	L2    *cache.Cache
+	LLC   *cache.Cache
+	L1D   *cache.Cache
+	dram  dramChannel
+	spf   *streamPrefetcher
+	Stats Stats
+}
+
+// New builds the hierarchy.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		L2:  cache.New(cfg.L2),
+		LLC: cache.New(cfg.LLC),
+		L1D: cache.New(cfg.L1D),
+		dram: dramChannel{
+			latency: uint64(cfg.DRAMLatency),
+			burst:   uint64(cfg.DRAMBurstCycles),
+		},
+	}
+	if cfg.StreamPrefetcher {
+		d := cfg.StreamDistance
+		if d <= 0 {
+			d = 4
+		}
+		n := cfg.StreamStreams
+		if n <= 0 {
+			n = 16
+		}
+		h.spf = newStreamPrefetcher(n, d)
+	}
+	return h
+}
+
+// InstrFill serves an instruction-line miss from L1I, returning the cycle
+// the line becomes available and the level that supplied it. The line is
+// installed into L2/LLC on its way up (mostly-inclusive behaviour).
+func (h *Hierarchy) InstrFill(lineAddr isa.Addr, cycle uint64) (ready uint64, level Level) {
+	h.Stats.InstrFills++
+	if h.L2.Access(lineAddr, cycle).Hit {
+		h.Stats.InstrL2Hits++
+		return cycle + uint64(h.cfg.L2Latency), LevelL2
+	}
+	if h.LLC.Access(lineAddr, cycle).Hit {
+		h.Stats.InstrLLCHits++
+		h.L2.Insert(lineAddr, cycle, false)
+		return cycle + uint64(h.cfg.LLCLatency), LevelLLC
+	}
+	h.Stats.InstrDRAMFills++
+	done := h.dramAccess(cycle + uint64(h.cfg.LLCLatency))
+	h.LLC.Insert(lineAddr, cycle, false)
+	h.L2.Insert(lineAddr, cycle, false)
+	return done, LevelDRAM
+}
+
+// DataAccess serves a demand load or store from the backend, returning
+// the load-to-use latency in cycles. Stores are modelled with the same
+// lookup path (write-allocate) but the backend typically retires them
+// without waiting.
+func (h *Hierarchy) DataAccess(addr isa.Addr, cycle uint64) (latency uint64, level Level) {
+	h.Stats.DataAccesses++
+	lineAddr := addr.Line()
+	if h.spf != nil {
+		h.spf.observe(h, lineAddr, cycle)
+	}
+	if h.L1D.Access(lineAddr, cycle).Hit {
+		h.Stats.DataL1Hits++
+		return uint64(h.cfg.L1D.HitLatency), LevelL1
+	}
+	if h.L2.Access(lineAddr, cycle).Hit {
+		h.Stats.DataL2Hits++
+		h.L1D.Insert(lineAddr, cycle, false)
+		return uint64(h.cfg.L2Latency), LevelL2
+	}
+	if h.LLC.Access(lineAddr, cycle).Hit {
+		h.Stats.DataLLCHits++
+		h.L1D.Insert(lineAddr, cycle, false)
+		h.L2.Insert(lineAddr, cycle, false)
+		return uint64(h.cfg.LLCLatency), LevelLLC
+	}
+	h.Stats.DataDRAMFills++
+	done := h.dramAccess(cycle + uint64(h.cfg.LLCLatency))
+	h.L1D.Insert(lineAddr, cycle, false)
+	h.L2.Insert(lineAddr, cycle, false)
+	h.LLC.Insert(lineAddr, cycle, false)
+	return done - cycle, LevelDRAM
+}
+
+// prefetchData installs a line into L1D/L2 on behalf of the stream
+// prefetcher without timing feedback (prefetches are not on the critical
+// path; their benefit appears as later hits).
+func (h *Hierarchy) prefetchData(lineAddr isa.Addr, cycle uint64) {
+	if h.L1D.Lookup(lineAddr) {
+		return
+	}
+	h.Stats.StreamPrefetches++
+	h.L1D.Insert(lineAddr, cycle, true)
+	if !h.L2.Lookup(lineAddr) {
+		h.L2.Insert(lineAddr, cycle, true)
+	}
+}
+
+func (h *Hierarchy) dramAccess(start uint64) (done uint64) {
+	return h.dram.access(start, &h.Stats)
+}
+
+// dramChannel models a single DDR channel: fixed device latency plus a
+// busy window per burst, so back-to-back misses queue.
+type dramChannel struct {
+	latency   uint64
+	burst     uint64
+	busyUntil uint64
+}
+
+func (d *dramChannel) access(start uint64, s *Stats) uint64 {
+	issue := start
+	if d.busyUntil > issue {
+		s.DRAMQueueCycles += d.busyUntil - issue
+		issue = d.busyUntil
+	}
+	d.busyUntil = issue + d.burst
+	return issue + d.latency
+}
+
+// streamPrefetcher detects monotonically increasing line streams in the
+// L1D miss/access sequence and runs a few lines ahead.
+type streamPrefetcher struct {
+	streams  []stream
+	distance int
+}
+
+type stream struct {
+	lastLine isa.Addr
+	hits     int
+	valid    bool
+	lru      uint64
+}
+
+func newStreamPrefetcher(n, distance int) *streamPrefetcher {
+	return &streamPrefetcher{streams: make([]stream, n), distance: distance}
+}
+
+func (p *streamPrefetcher) observe(h *Hierarchy, lineAddr isa.Addr, cycle uint64) {
+	// Match an existing stream expecting this line (or a nearby step).
+	for i := range p.streams {
+		st := &p.streams[i]
+		if !st.valid {
+			continue
+		}
+		if lineAddr == st.lastLine+isa.LineBytes || lineAddr == st.lastLine+2*isa.LineBytes {
+			st.lastLine = lineAddr
+			st.hits++
+			st.lru = cycle
+			if st.hits >= 2 {
+				for k := 1; k <= p.distance; k++ {
+					h.prefetchData(lineAddr+isa.Addr(k*isa.LineBytes), cycle)
+				}
+			}
+			return
+		}
+		if lineAddr == st.lastLine {
+			st.lru = cycle
+			return
+		}
+	}
+	// Allocate (replace LRU).
+	victim := 0
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			break
+		}
+		if p.streams[i].lru < p.streams[victim].lru {
+			victim = i
+		}
+	}
+	p.streams[victim] = stream{lastLine: lineAddr, valid: true, lru: cycle}
+}

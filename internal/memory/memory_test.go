@@ -1,0 +1,141 @@
+package memory
+
+import (
+	"testing"
+
+	"udpsim/internal/cache"
+	"udpsim/internal/isa"
+)
+
+func testConfig() Config {
+	return Config{
+		L1D:             cache.Config{Name: "L1D", SizeBytes: 48 * 1024, Ways: 12, Policy: cache.LRU, HitLatency: 4},
+		L2:              cache.Config{Name: "L2", SizeBytes: 512 * 1024, Ways: 8, Policy: cache.LRU},
+		LLC:             cache.Config{Name: "LLC", SizeBytes: 2 * 1024 * 1024, Ways: 16, Policy: cache.LRU},
+		L2Latency:       13,
+		LLCLatency:      36,
+		DRAMLatency:     150,
+		DRAMBurstCycles: 10,
+	}
+}
+
+func ln(i int) isa.Addr { return isa.Addr(0x400000 + i*isa.LineBytes) }
+
+func TestInstrFillColdGoesToDRAM(t *testing.T) {
+	h := New(testConfig())
+	ready, level := h.InstrFill(ln(1), 100)
+	if level != LevelDRAM {
+		t.Fatalf("cold fill from %v", level)
+	}
+	// LLC latency + DRAM latency.
+	if ready != 100+36+150 {
+		t.Errorf("ready = %d, want %d", ready, 100+36+150)
+	}
+	if h.Stats.InstrDRAMFills != 1 {
+		t.Errorf("stats %+v", h.Stats)
+	}
+}
+
+func TestInstrFillHitsL2AfterFirstFill(t *testing.T) {
+	h := New(testConfig())
+	h.InstrFill(ln(1), 100)
+	ready, level := h.InstrFill(ln(1), 500)
+	if level != LevelL2 {
+		t.Fatalf("refill from %v, want L2", level)
+	}
+	if ready != 500+13 {
+		t.Errorf("ready = %d", ready)
+	}
+}
+
+func TestInstrFillLLCPath(t *testing.T) {
+	cfg := testConfig()
+	// Tiny L2 so the line falls out of it but stays in the LLC.
+	cfg.L2.SizeBytes = 2 * 64 * 2
+	cfg.L2.Ways = 2
+	h := New(cfg)
+	h.InstrFill(ln(0), 1)
+	// Blow the L2 (2 sets × 2 ways): four conflicting lines.
+	for i := 1; i <= 8; i++ {
+		h.InstrFill(ln(i*2), uint64(i*10)) // same-set stride for set 0
+	}
+	_, level := h.InstrFill(ln(0), 1000)
+	if level != LevelLLC {
+		t.Fatalf("fill from %v, want LLC", level)
+	}
+}
+
+func TestDataAccessLevels(t *testing.T) {
+	h := New(testConfig())
+	lat, level := h.DataAccess(0x1000_0000, 10)
+	if level != LevelDRAM {
+		t.Fatalf("cold data access from %v", level)
+	}
+	if lat < 150 {
+		t.Errorf("cold latency %d too small", lat)
+	}
+	lat, level = h.DataAccess(0x1000_0000, 400)
+	if level != LevelL1 || lat != 4 {
+		t.Fatalf("warm access: %d cycles from %v", lat, level)
+	}
+}
+
+func TestDRAMQueueing(t *testing.T) {
+	h := New(testConfig())
+	// Two back-to-back cold fills: the second queues behind the first's
+	// burst occupancy.
+	r1, _ := h.InstrFill(ln(1), 100)
+	r2, _ := h.InstrFill(ln(2), 100)
+	if r2 <= r1 {
+		t.Errorf("no queueing: %d then %d", r1, r2)
+	}
+	if r2-r1 != 10 {
+		t.Errorf("queue delta = %d, want burst 10", r2-r1)
+	}
+	if h.Stats.DRAMQueueCycles == 0 {
+		t.Error("queue cycles not recorded")
+	}
+}
+
+func TestStreamPrefetcher(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = true
+	cfg.StreamDistance = 4
+	h := New(cfg)
+	base := isa.Addr(0x2000_0000)
+	// Walk an ascending line stream; after two stride hits the
+	// prefetcher should run ahead.
+	for i := 0; i < 8; i++ {
+		h.DataAccess(base+isa.Addr(i*isa.LineBytes), uint64(i*100))
+	}
+	if h.Stats.StreamPrefetches == 0 {
+		t.Fatal("stream prefetcher never fired")
+	}
+	// The next line in the stream should now hit L1D.
+	lat, level := h.DataAccess(base+isa.Addr(8*isa.LineBytes), 10_000)
+	if level != LevelL1 {
+		t.Errorf("stream next access from %v (lat %d), want L1", level, lat)
+	}
+}
+
+func TestStreamPrefetcherIgnoresRandom(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = true
+	h := New(cfg)
+	r := uint64(1)
+	for i := 0; i < 64; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		h.DataAccess(isa.Addr(0x2000_0000+r%(1<<24))&^63, uint64(i*50))
+	}
+	if h.Stats.StreamPrefetches > 16 {
+		t.Errorf("random access pattern triggered %d stream prefetches", h.Stats.StreamPrefetches)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{LevelL1, LevelL2, LevelLLC, LevelDRAM, Level(9)} {
+		if l.String() == "" {
+			t.Errorf("empty string for level %d", l)
+		}
+	}
+}

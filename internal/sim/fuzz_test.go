@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomConfigsRobust drives the whole machine with randomized (but
+// structurally valid) configurations: no panic, no deadlock, and the
+// run must retire what it was asked to.
+func TestRandomConfigsRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	mechs := Mechanisms()
+	f := func(ftqSel, btbPow, widthSel, mshrSel, icSel, mechSel, salt uint8) bool {
+		cfg := testConfig(mechs[int(mechSel)%len(mechs)])
+		cfg.MaxInstructions = 20_000
+		cfg.WarmupInstructions = 5_000
+		cfg.SeedSalt = uint64(salt)
+		cfg.FTQDepth = 4 + int(ftqSel)%124
+		cfg.BTBEntries = 1 << (7 + btbPow%8) // 128..16384
+		cfg.Width = 1 + int(widthSel)%8
+		cfg.IMSHRs = 1 + int(mshrSel)%31
+		// Icache sizes with power-of-two set counts under 8 ways.
+		sizes := []int{8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024}
+		cfg.ICacheBytes = sizes[int(icSel)%len(sizes)]
+		r, err := RunOne(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		return r.Instructions >= 20_000 && r.IPC > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 14}); err != nil {
+		t.Error(err)
+	}
+}

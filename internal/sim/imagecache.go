@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"udpsim/internal/workload"
+)
+
+// Generating a multi-megabyte program image dominates short runs, and
+// generation is fully deterministic in the profile, so images are
+// shared process-wide across machines (the image is immutable after
+// generation; executors carry all mutable state).
+var (
+	imageMu    sync.Mutex
+	imageCache = map[string]*workload.Program{}
+)
+
+// SharedImage returns the (cached) program image for a profile.
+func SharedImage(p workload.Profile) (*workload.Program, error) {
+	key := fmt.Sprintf("%+v", p)
+	imageMu.Lock()
+	defer imageMu.Unlock()
+	if prog, ok := imageCache[key]; ok {
+		return prog, nil
+	}
+	prog, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	imageCache[key] = prog
+	return prog, nil
+}
+
+func workloadImage(cfg Config) (*workload.Program, error) {
+	return SharedImage(cfg.Workload)
+}

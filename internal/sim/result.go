@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"udpsim/internal/backend"
+	"udpsim/internal/frontend"
+)
+
+// Result is the measured outcome of one simulation region.
+type Result struct {
+	Workload  string
+	Mechanism Mechanism
+	SeedSalt  uint64
+	FTQDepth  int
+
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	// Icache behaviour.
+	IcacheMPKI     float64
+	IcacheMisses   uint64
+	IcacheAccesses uint64
+
+	// Paper metrics.
+	Timeliness    float64 // Fig. 4: icache/(icache+fill-buffer) demand hits
+	OnPathRatio   float64 // Fig. 5: on/(on+off) emitted prefetches
+	Usefulness    float64 // Fig. 6: useful/(useful+useless) prefetches
+	MeanFTQOcc    float64 // Fig. 8
+	LostInstrs    uint64  // Fig. 15: instructions lost to icache-miss stalls
+	LostInstrsPKI float64
+
+	// Prefetch volume.
+	PrefetchesEmitted uint64
+	PrefetchesOnPath  uint64
+	PrefetchesOffPath uint64
+	PrefetchesDropped uint64
+	PrefetchUseful    uint64
+	PrefetchUseless   uint64
+
+	// Control flow.
+	Recoveries        uint64
+	PostFetchResteers uint64
+	BTBHitRate        float64
+	BranchMPKI        float64 // mispredictions (recoveries) per kilo-instr
+	// Resolution latency distribution (divergence → recovery, cycles).
+	ResolutionMean float64
+	ResolutionP99  uint64
+
+	// Mechanism detail.
+	FinalFTQDepth    int
+	UDPStorage       uint
+	MechanismSummary string
+	FE               frontend.Stats
+	BE               backend.Stats
+}
+
+// Snapshot computes a Result from the machine's current statistics.
+func (m *Machine) Snapshot() Result {
+	fe := m.FE.Stats
+	be := m.BE.Stats
+	ic := m.FE.ICache().Stats
+
+	r := Result{
+		Workload:  m.cfg.Workload.Name,
+		Mechanism: m.cfg.Mechanism,
+		SeedSalt:  m.cfg.SeedSalt,
+		FTQDepth:  m.cfg.FTQDepth,
+
+		Instructions: be.Retired,
+		Cycles:       be.Cycles,
+
+		IcacheMisses:   ic.Misses,
+		IcacheAccesses: ic.Hits + ic.Misses,
+
+		Timeliness:  fe.Timeliness(),
+		OnPathRatio: fe.OnPathRatio(),
+		Usefulness:  fe.Usefulness(),
+		MeanFTQOcc:  m.FE.Queue().MeanOccupancy(),
+		LostInstrs:  fe.FetchStallCycles * uint64(m.cfg.FetchWidth),
+
+		PrefetchesEmitted: fe.PrefetchesEmitted,
+		PrefetchesOnPath:  fe.PrefetchesOnPath,
+		PrefetchesOffPath: fe.PrefetchesOffPath,
+		PrefetchesDropped: fe.PrefetchesDropped,
+		PrefetchUseful:    fe.PrefetchUseful,
+		PrefetchUseless:   fe.PrefetchUseless,
+
+		Recoveries:        fe.Recoveries,
+		PostFetchResteers: fe.PostFetchResteers,
+		BTBHitRate:        m.BTB.Stats.HitRate(),
+		ResolutionMean:    m.FE.ResolutionLatency.Mean(),
+		ResolutionP99:     m.FE.ResolutionLatency.Percentile(0.99),
+
+		FinalFTQDepth: m.FE.Queue().Cap(),
+		FE:            fe,
+		BE:            be,
+	}
+	if be.Cycles > 0 {
+		r.IPC = float64(be.Retired) / float64(be.Cycles)
+	}
+	if be.Retired > 0 {
+		r.IcacheMPKI = float64(ic.Misses) / float64(be.Retired) * 1000
+		r.LostInstrsPKI = float64(r.LostInstrs) / float64(be.Retired) * 1000
+		r.BranchMPKI = float64(fe.Recoveries) / float64(be.Retired) * 1000
+	}
+	if m.UDP != nil {
+		r.UDPStorage = m.UDP.StorageBytes()
+		r.MechanismSummary = m.UDP.String()
+	}
+	if m.UFTQ != nil {
+		r.MechanismSummary = fmt.Sprintf("%s: depth %d (QDAUR %d, QDATR %d), %d windows, %d adjustments, %d re-searches",
+			m.UFTQ.Name(), m.UFTQ.Depth(), m.UFTQ.QDAUR(), m.UFTQ.QDATR(), m.UFTQ.Windows, m.UFTQ.Adjustments, m.UFTQ.Researches)
+	}
+	return r
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC %.3f, icache MPKI %.2f, timeliness %.2f, on-path %.2f, useful %.2f, FTQ %d",
+		r.Workload, r.Mechanism, r.IPC, r.IcacheMPKI, r.Timeliness, r.OnPathRatio, r.Usefulness, r.FinalFTQDepth)
+}
+
+// Speedup returns (r.IPC / base.IPC − 1) as a fraction.
+func (r Result) Speedup(base Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return r.IPC/base.IPC - 1
+}
+
+// RunOne runs one region over the (process-cached) program image and
+// returns the result.
+func RunOne(cfg Config) (Result, error) {
+	prog, err := SharedImage(cfg.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := NewMachineWithProgram(cfg, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(), nil
+}
+
+// RunSimpoints runs n regions (seed salts 0..n-1) over a shared program
+// image and returns the per-region results plus their aggregate.
+func RunSimpoints(cfg Config, n int) ([]Result, Result, error) {
+	if n <= 0 {
+		n = 1
+	}
+	prog, err := workloadImage(cfg)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.SeedSalt = uint64(i) * 7919
+		m, err := NewMachineWithProgram(c, prog)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		results = append(results, m.Run())
+	}
+	return results, Aggregate(results), nil
+}
+
+// Aggregate combines per-simpoint results: cycle- and instruction-
+// weighted sums with an arithmetic-mean IPC over regions (matching the
+// paper's per-application aggregation of simpoints).
+func Aggregate(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	agg := rs[0]
+	if len(rs) == 1 {
+		return agg
+	}
+	var ipcSum, tSum, opSum, uSum, occSum float64
+	agg = Result{Workload: rs[0].Workload, Mechanism: rs[0].Mechanism, FTQDepth: rs[0].FTQDepth}
+	for _, r := range rs {
+		agg.Instructions += r.Instructions
+		agg.Cycles += r.Cycles
+		agg.IcacheMisses += r.IcacheMisses
+		agg.IcacheAccesses += r.IcacheAccesses
+		agg.PrefetchesEmitted += r.PrefetchesEmitted
+		agg.PrefetchesOnPath += r.PrefetchesOnPath
+		agg.PrefetchesOffPath += r.PrefetchesOffPath
+		agg.PrefetchesDropped += r.PrefetchesDropped
+		agg.PrefetchUseful += r.PrefetchUseful
+		agg.PrefetchUseless += r.PrefetchUseless
+		agg.Recoveries += r.Recoveries
+		agg.PostFetchResteers += r.PostFetchResteers
+		agg.LostInstrs += r.LostInstrs
+		ipcSum += r.IPC
+		tSum += r.Timeliness
+		opSum += r.OnPathRatio
+		uSum += r.Usefulness
+		occSum += r.MeanFTQOcc
+		agg.FinalFTQDepth += r.FinalFTQDepth
+	}
+	n := float64(len(rs))
+	agg.IPC = ipcSum / n
+	agg.Timeliness = tSum / n
+	agg.OnPathRatio = opSum / n
+	agg.Usefulness = uSum / n
+	agg.MeanFTQOcc = occSum / n
+	agg.FinalFTQDepth /= len(rs)
+	if agg.Instructions > 0 {
+		agg.IcacheMPKI = float64(agg.IcacheMisses) / float64(agg.Instructions) * 1000
+		agg.LostInstrsPKI = float64(agg.LostInstrs) / float64(agg.Instructions) * 1000
+		agg.BranchMPKI = float64(agg.Recoveries) / float64(agg.Instructions) * 1000
+	}
+	return agg
+}
+
+// Geomean returns the geometric mean of 1+x over the values, minus 1 —
+// the conventional aggregation for speedups.
+func Geomean(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range speedups {
+		s += math.Log(1 + v)
+	}
+	return math.Exp(s/float64(len(speedups))) - 1
+}

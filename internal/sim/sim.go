@@ -1,0 +1,401 @@
+// Package sim assembles the full machine — synthetic workload,
+// TAGE-SC-L, BTB, decoupled frontend with FDIP, out-of-order backend,
+// and the cache/memory hierarchy — configured per Table II of the
+// paper, and runs cycle-accurate simulations under a selected
+// mechanism (baseline FDIP, perfect icache, the UFTQ variants, UDP,
+// the EIP comparator, and the no-prefetch lower bound).
+package sim
+
+import (
+	"fmt"
+
+	"udpsim/internal/backend"
+	"udpsim/internal/bp"
+	"udpsim/internal/btb"
+	"udpsim/internal/cache"
+	"udpsim/internal/core"
+	"udpsim/internal/eip"
+	"udpsim/internal/frontend"
+	"udpsim/internal/memory"
+	"udpsim/internal/workload"
+)
+
+// Mechanism selects the instruction-prefetch policy under evaluation.
+type Mechanism string
+
+// Mechanisms evaluated in the paper.
+const (
+	// MechBaseline is state-of-the-art FDIP with a fixed FTQ (depth 32
+	// unless overridden) — the paper's baseline [28].
+	MechBaseline Mechanism = "baseline"
+	// MechNoPrefetch disables FDIP prefetching.
+	MechNoPrefetch Mechanism = "no-prefetch"
+	// MechPerfectICache makes every instruction fetch hit (Fig. 1).
+	MechPerfectICache Mechanism = "perfect-icache"
+	// MechUFTQAUR / MechUFTQATR / MechUFTQATRAUR are the dynamic FTQ
+	// sizing controllers (Fig. 11/12).
+	MechUFTQAUR    Mechanism = "uftq-aur"
+	MechUFTQATR    Mechanism = "uftq-atr"
+	MechUFTQATRAUR Mechanism = "uftq-atr-aur"
+	// MechUDP is utility-driven prefetching with the 8KB Bloom
+	// useful-set (Fig. 13-17); MechUDPInfinite is its unbounded upper
+	// bound.
+	MechUDP         Mechanism = "udp"
+	MechUDPInfinite Mechanism = "udp-infinite"
+	// MechEIP is the entangled-instruction-prefetcher comparator at an
+	// 8KB metadata budget (Fig. 13).
+	MechEIP Mechanism = "eip"
+	// MechUDPUFTQ composes UDP's candidate filtering with UFTQ-ATR-AUR's
+	// dynamic FTQ sizing — the orthogonal combination the paper suggests
+	// but does not evaluate (ablation extension).
+	MechUDPUFTQ Mechanism = "udp-uftq"
+)
+
+// Mechanisms lists all selectable mechanisms.
+func Mechanisms() []Mechanism {
+	return []Mechanism{
+		MechBaseline, MechNoPrefetch, MechPerfectICache,
+		MechUFTQAUR, MechUFTQATR, MechUFTQATRAUR,
+		MechUDP, MechUDPInfinite, MechEIP, MechUDPUFTQ,
+	}
+}
+
+// Config is a full simulation configuration. NewConfig supplies the
+// paper's Table II values; tests and sweeps override single fields.
+type Config struct {
+	Workload  workload.Profile
+	Mechanism Mechanism
+
+	// SeedSalt selects the simpoint: different salts replay different
+	// dynamic phases of the same static image.
+	SeedSalt uint64
+
+	// MaxInstructions ends the run after this many retired
+	// instructions.
+	MaxInstructions uint64
+	// WarmupInstructions are simulated first and excluded from stats.
+	WarmupInstructions uint64
+
+	// Frontend.
+	FTQDepth       int
+	FTQPhysMax     int
+	BlocksPerCycle int
+	ScanPerCycle   int
+	FetchWidth     int
+	ICacheBytes    int
+	ICacheWays     int
+	IMSHRs         int
+
+	// Branch prediction.
+	Tage            bp.TageConfig
+	BTBEntries      int
+	BTBWays         int
+	IndirectEntries int
+	RASEntries      int
+
+	// Backend.
+	Width       int
+	ROBSize     int
+	RSSize      int
+	ALUs        int
+	LoadPorts   int
+	StorePorts  int
+	LoadBuffer  int
+	StoreBuffer int
+
+	// Uncore.
+	L1DBytes        int
+	L1DWays         int
+	L2Bytes         int
+	L2Ways          int
+	LLCBytes        int
+	LLCWays         int
+	L1DLatency      int
+	L2Latency       int
+	LLCLatency      int
+	DRAMLatency     int
+	DRAMBurstCycles int
+	StreamPF        bool
+
+	// Mechanism knobs.
+	UFTQ core.UFTQConfig
+	UDP  core.UDPConfig
+	EIP  eip.Config
+
+	// PredecodeBTBFill enables Boomerang/Confluence-style BTB filling
+	// from prefetched lines (an orthogonal technique the paper cites;
+	// composes with any mechanism).
+	PredecodeBTBFill bool
+}
+
+// NewConfig returns the Table II configuration for a workload under a
+// mechanism.
+func NewConfig(w workload.Profile, m Mechanism) Config {
+	return Config{
+		Workload:  w,
+		Mechanism: m,
+
+		MaxInstructions:    2_000_000,
+		WarmupInstructions: 200_000,
+
+		FTQDepth:       32,
+		FTQPhysMax:     128,
+		BlocksPerCycle: 2,
+		ScanPerCycle:   2,
+		FetchWidth:     6,
+		ICacheBytes:    32 * 1024,
+		ICacheWays:     8,
+		IMSHRs:         16,
+
+		Tage:            bp.DefaultTageConfig(),
+		BTBEntries:      8192,
+		BTBWays:         8,
+		IndirectEntries: 2048,
+		RASEntries:      32,
+
+		Width:       6,
+		ROBSize:     352,
+		RSSize:      125,
+		ALUs:        4,
+		LoadPorts:   2,
+		StorePorts:  2,
+		LoadBuffer:  64,
+		StoreBuffer: 64,
+
+		L1DBytes:        48 * 1024,
+		L1DWays:         12,
+		L2Bytes:         512 * 1024,
+		L2Ways:          8,
+		LLCBytes:        2 * 1024 * 1024,
+		LLCWays:         16,
+		L1DLatency:      4,
+		L2Latency:       13,
+		LLCLatency:      36,
+		DRAMLatency:     150,
+		DRAMBurstCycles: 10,
+		StreamPF:        true,
+
+		UFTQ: core.DefaultUFTQConfig(core.UFTQATRAUR),
+		UDP:  core.DefaultUDPConfig(),
+		EIP:  eip.DefaultConfig(),
+	}
+}
+
+// Machine is one assembled simulated core.
+type Machine struct {
+	cfg  Config
+	prog *workload.Program
+
+	Dir    *bp.Tage
+	BTB    *btb.BTB
+	IBTB   *btb.IndirectBTB
+	Hier   *memory.Hierarchy
+	FE     *frontend.Frontend
+	BE     *backend.Backend
+	Oracle *frontend.OracleStream
+
+	// Mechanism instances (at most one non-nil, except the combined
+	// mechanism which sets both UDP and UFTQ).
+	UFTQ *core.UFTQ
+	UDP  *core.UDP
+	EIP  *eip.EIP
+
+	cycle uint64
+}
+
+// NewMachine builds and wires a machine. The program image is generated
+// from cfg.Workload (use NewMachineWithProgram to share an image across
+// runs — generation of the multi-MB images is the expensive part).
+func NewMachine(cfg Config) (*Machine, error) {
+	prog, err := workload.Generate(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachineWithProgram(cfg, prog)
+}
+
+// NewMachineWithProgram wires a machine over an already-generated
+// program image, executing the workload live.
+func NewMachineWithProgram(cfg Config, prog *workload.Program) (*Machine, error) {
+	return NewMachineWithSource(cfg, prog, nil)
+}
+
+// NewMachineWithSource wires a machine over a program image with a
+// custom architectural instruction source (e.g. a trace replayer); a
+// nil source runs the live executor with cfg.SeedSalt.
+func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.InstrSource) (*Machine, error) {
+	m := &Machine{cfg: cfg, prog: prog}
+
+	m.Dir = bp.NewTage(cfg.Tage)
+	m.BTB = btb.New(btb.Config{Entries: cfg.BTBEntries, Ways: cfg.BTBWays})
+	m.IBTB = btb.NewIndirect(cfg.IndirectEntries)
+
+	m.Hier = memory.New(memory.Config{
+		L1D: cache.Config{
+			Name: "L1D", SizeBytes: cfg.L1DBytes, Ways: cfg.L1DWays,
+			Policy: cache.LRU, HitLatency: cfg.L1DLatency,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: cfg.L2Bytes, Ways: cfg.L2Ways, Policy: cache.LRU,
+		},
+		LLC: cache.Config{
+			Name: "LLC", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, Policy: cache.LRU,
+		},
+		L2Latency:        cfg.L2Latency,
+		LLCLatency:       cfg.LLCLatency,
+		DRAMLatency:      cfg.DRAMLatency,
+		DRAMBurstCycles:  cfg.DRAMBurstCycles,
+		StreamPrefetcher: cfg.StreamPF,
+	})
+
+	if src == nil {
+		src = workload.NewExecutor(prog, cfg.SeedSalt)
+	}
+	m.Oracle = frontend.NewOracleStream(src)
+
+	var tuner frontend.Tuner
+	var ext frontend.ExternalPrefetcher
+	feCfg := frontend.Config{
+		FTQPhysMax:     cfg.FTQPhysMax,
+		FTQDepth:       cfg.FTQDepth,
+		BlocksPerCycle: cfg.BlocksPerCycle,
+		ScanPerCycle:   cfg.ScanPerCycle,
+		FetchWidth:     cfg.FetchWidth,
+		MSHRs:          cfg.IMSHRs,
+		RASEntries:     cfg.RASEntries,
+		L1I: cache.Config{
+			Name: "L1I", SizeBytes: cfg.ICacheBytes, Ways: cfg.ICacheWays,
+			Policy: cache.LRU, HitLatency: 3,
+		},
+		PredecodeBTBFill: cfg.PredecodeBTBFill,
+	}
+
+	switch cfg.Mechanism {
+	case MechBaseline, "":
+		// Fixed FTQ, no filtering.
+	case MechNoPrefetch:
+		feCfg.NoPrefetch = true
+	case MechPerfectICache:
+		feCfg.PerfectICache = true
+	case MechUFTQAUR:
+		u := cfg.UFTQ
+		u.Mode = core.UFTQAUR
+		m.UFTQ = core.NewUFTQ(u)
+		tuner = m.UFTQ
+	case MechUFTQATR:
+		u := cfg.UFTQ
+		u.Mode = core.UFTQATR
+		m.UFTQ = core.NewUFTQ(u)
+		tuner = m.UFTQ
+	case MechUFTQATRAUR:
+		u := cfg.UFTQ
+		u.Mode = core.UFTQATRAUR
+		m.UFTQ = core.NewUFTQ(u)
+		tuner = m.UFTQ
+	case MechUDP:
+		u := cfg.UDP
+		u.Infinite = false
+		m.UDP = core.NewUDP(u)
+		tuner = m.UDP
+	case MechUDPInfinite:
+		u := cfg.UDP
+		u.Infinite = true
+		m.UDP = core.NewUDP(u)
+		tuner = m.UDP
+	case MechEIP:
+		m.EIP = eip.New(cfg.EIP)
+		ext = m.EIP
+	case MechUDPUFTQ:
+		u := cfg.UFTQ
+		u.Mode = core.UFTQATRAUR
+		comb := core.NewCombined(cfg.UDP, u)
+		m.UDP = comb.UDP
+		m.UFTQ = comb.UFTQ
+		tuner = comb
+	default:
+		return nil, fmt.Errorf("sim: unknown mechanism %q", cfg.Mechanism)
+	}
+
+	m.FE = frontend.New(feCfg, frontend.Deps{
+		Program:  prog,
+		Oracle:   m.Oracle,
+		Dir:      m.Dir,
+		BTB:      m.BTB,
+		IndirBTB: m.IBTB,
+		Hier:     m.Hier,
+		Tuner:    tuner,
+		External: ext,
+	})
+	m.BE = backend.New(backend.Config{
+		Width:       cfg.Width,
+		ROBSize:     cfg.ROBSize,
+		RSSize:      cfg.RSSize,
+		ALUs:        cfg.ALUs,
+		LoadPorts:   cfg.LoadPorts,
+		StorePorts:  cfg.StorePorts,
+		LoadBuffer:  cfg.LoadBuffer,
+		StoreBuffer: cfg.StoreBuffer,
+	}, m.FE, m.Hier)
+	return m, nil
+}
+
+// Program returns the machine's static image.
+func (m *Machine) Program() *workload.Program { return m.prog }
+
+// Cycle returns the current simulated cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Step advances the machine one cycle.
+func (m *Machine) Step() {
+	m.cycle++
+	m.FE.Cycle(m.cycle)
+	m.BE.Cycle(m.cycle)
+}
+
+// Run simulates until MaxInstructions retire (after warmup) and
+// returns the result. A zero MaxInstructions runs 1M instructions.
+func (m *Machine) Run() Result {
+	maxInstr := m.cfg.MaxInstructions
+	if maxInstr == 0 {
+		maxInstr = 1_000_000
+	}
+	if w := m.cfg.WarmupInstructions; w > 0 {
+		m.RunInstructions(w)
+		m.ResetStats()
+	}
+	m.RunInstructions(maxInstr)
+	return m.Snapshot()
+}
+
+// RunInstructions advances until n more instructions retire. A safety
+// bound of 400 cycles/instruction guards against modelling deadlock.
+func (m *Machine) RunInstructions(n uint64) {
+	target := m.BE.Stats.Retired + n
+	limit := m.cycle + n*400 + 1_000_000
+	for m.BE.Stats.Retired < target {
+		m.Step()
+		if m.cycle > limit {
+			panic(fmt.Sprintf("sim: no forward progress (retired %d of target %d at cycle %d)",
+				m.BE.Stats.Retired, target, m.cycle))
+		}
+	}
+}
+
+// ResetStats clears all accumulated statistics (end of warmup) while
+// preserving microarchitectural state (caches, predictors, learned
+// sets).
+func (m *Machine) ResetStats() {
+	m.FE.Stats = frontend.Stats{}
+	m.BE.Stats = backend.Stats{}
+	m.FE.ICache().Stats = cache.Stats{}
+	m.FE.MSHRs().Stats = cache.MSHRStats{}
+	m.Hier.Stats = memory.Stats{}
+	m.Hier.L2.Stats = cache.Stats{}
+	m.Hier.LLC.Stats = cache.Stats{}
+	m.Hier.L1D.Stats = cache.Stats{}
+	m.BTB.Stats = btb.Stats{}
+	m.FE.ResolutionLatency.Reset()
+	m.FE.OccupancyHist.Reset()
+	q := m.FE.Queue()
+	q.OccupancySum, q.OccupancySamples = 0, 0
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"udpsim/internal/workload"
+)
+
+// testProfile is a small, fast workload for unit tests.
+func testProfile() workload.Profile {
+	p := workload.MustByName("mysql")
+	p.Funcs = 60
+	p.DispatchTargets = 40
+	return p
+}
+
+func testConfig(m Mechanism) Config {
+	cfg := NewConfig(testProfile(), m)
+	cfg.MaxInstructions = 60_000
+	cfg.WarmupInstructions = 10_000
+	return cfg
+}
+
+func TestSmokeBaseline(t *testing.T) {
+	r, err := RunOne(testConfig(MechBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", r)
+	t.Logf("fe: %+v", r.FE)
+	t.Logf("be: %+v", r.BE)
+	if r.IPC <= 0.05 || r.IPC > 6 {
+		t.Errorf("implausible IPC %.3f", r.IPC)
+	}
+	if r.Instructions < 60_000 {
+		t.Errorf("retired %d < requested", r.Instructions)
+	}
+}

@@ -1,0 +1,193 @@
+// Package stats provides the lightweight measurement primitives the
+// simulator's observability is built from: power-of-two latency
+// histograms, linear occupancy histograms, and windowed ratio trackers
+// (the hardware-style measurement UFTQ's counters model).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram of uint64 samples. Buckets are
+// defined by their inclusive upper bounds; samples beyond the last
+// bound land in the overflow bucket.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewLog2Histogram builds a histogram with power-of-two bucket bounds
+// 1, 2, 4, ... 2^maxPow — the natural shape for latencies.
+func NewLog2Histogram(maxPow uint) *Histogram {
+	if maxPow == 0 || maxPow > 63 {
+		panic("stats: log2 histogram needs 1..63 buckets")
+	}
+	bounds := make([]uint64, maxPow)
+	for i := range bounds {
+		bounds[i] = 1 << uint(i+1)
+	}
+	return NewHistogram(bounds)
+}
+
+// NewLinearHistogram builds a histogram with n buckets of equal width.
+func NewLinearHistogram(n int, width uint64) *Histogram {
+	if n <= 0 || width == 0 {
+		panic("stats: linear histogram needs positive shape")
+	}
+	bounds := make([]uint64, n)
+	for i := range bounds {
+		bounds[i] = uint64(i+1) * width
+	}
+	return NewHistogram(bounds)
+}
+
+// NewHistogram builds a histogram from explicit ascending bucket upper
+// bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1), // +overflow
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound on the p-th percentile (p in
+// [0,1]): the bucket bound below which at least p of the samples fall.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := uint64(math.Ceil(p * float64(h.total)))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		if acc >= need {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+}
+
+// Buckets invokes f for every non-empty bucket with its upper bound
+// (max for overflow) and count.
+func (h *Histogram) Buckets(f func(upper uint64, count uint64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(h.bounds) {
+			f(h.bounds[i], c)
+		} else {
+			f(h.max, c)
+		}
+	}
+}
+
+// String renders a compact ASCII distribution.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50≤%d p99≤%d max=%d",
+		h.total, h.Mean(), h.Percentile(0.5), h.Percentile(0.99), h.max)
+	return b.String()
+}
+
+// WindowedRatio tracks a success ratio over tumbling windows of fixed
+// size — the measurement structure UFTQ implements with two 10-bit
+// hardware counters.
+type WindowedRatio struct {
+	window  int
+	hits    int
+	total   int
+	last    float64
+	windows uint64
+	valid   bool
+}
+
+// NewWindowedRatio builds a tracker with the given window size.
+func NewWindowedRatio(window int) *WindowedRatio {
+	if window <= 0 {
+		panic("stats: window must be positive")
+	}
+	return &WindowedRatio{window: window}
+}
+
+// Observe records one event; it returns (ratio, true) when this event
+// completed a window.
+func (w *WindowedRatio) Observe(hit bool) (float64, bool) {
+	w.total++
+	if hit {
+		w.hits++
+	}
+	if w.total < w.window {
+		return 0, false
+	}
+	w.last = float64(w.hits) / float64(w.total)
+	w.valid = true
+	w.windows++
+	w.hits, w.total = 0, 0
+	return w.last, true
+}
+
+// Last returns the most recent completed window's ratio and whether any
+// window has completed.
+func (w *WindowedRatio) Last() (float64, bool) { return w.last, w.valid }
+
+// Windows returns the number of completed windows.
+func (w *WindowedRatio) Windows() uint64 { return w.windows }

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// The paper's methodology simulates 10 application-specific regions
+// selected with SimPoint. This file implements the core of that
+// technique: split the trace into fixed-size intervals, summarize each
+// interval by its basic-block vector (BBV — execution frequency per
+// basic block, hashed into a fixed dimension), cluster the vectors with
+// k-medoids, and pick each cluster's medoid interval as a
+// representative region weighted by cluster size.
+
+// BBVDim is the hashed basic-block-vector dimensionality.
+const BBVDim = 64
+
+// Interval summarizes one fixed-size slice of a trace.
+type Interval struct {
+	Index uint64 // interval number
+	Start uint64 // first instruction index
+	BBV   [BBVDim]float64
+}
+
+// Simpoint is one selected representative region.
+type Simpoint struct {
+	Interval uint64  // interval index of the medoid
+	Start    uint64  // first instruction of the region
+	Weight   float64 // fraction of intervals its cluster covers
+}
+
+// Intervals scans a trace and produces its basic-block vectors over
+// intervals of intervalLen instructions. Basic blocks are identified by
+// the PC following a taken control transfer (the block leader) and
+// hashed into BBVDim buckets; vectors are L1-normalized.
+func Intervals(r *Reader, intervalLen uint64) ([]Interval, error) {
+	if intervalLen == 0 {
+		return nil, fmt.Errorf("trace: interval length must be positive")
+	}
+	var out []Interval
+	var cur Interval
+	var n uint64
+	leader := uint64(0) // hash bucket of current block leader
+	newBlock := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if newBlock {
+			leader = uint64(rec.PC) >> 2 * 0x9e3779b97f4a7c15 >> 32 % BBVDim
+			newBlock = false
+		}
+		cur.BBV[leader]++
+		if rec.Taken {
+			newBlock = true
+		}
+		n++
+		if n%intervalLen == 0 {
+			normalize(&cur.BBV)
+			cur.Index = uint64(len(out))
+			cur.Start = n - intervalLen
+			out = append(out, cur)
+			cur = Interval{}
+		}
+	}
+	return out, nil
+}
+
+func normalize(v *[BBVDim]float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// manhattan returns the L1 distance between two BBVs (SimPoint's
+// metric).
+func manhattan(a, b *[BBVDim]float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// Select clusters the intervals into k groups with k-medoids (PAM-lite:
+// deterministic farthest-first seeding followed by alternating
+// assignment and medoid update) and returns one simpoint per non-empty
+// cluster, ordered by weight descending.
+func Select(intervals []Interval, k int) []Simpoint {
+	if len(intervals) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(intervals) {
+		k = len(intervals)
+	}
+
+	// Farthest-first seeding from interval 0.
+	medoids := []int{0}
+	for len(medoids) < k {
+		far, farDist := -1, -1.0
+		for i := range intervals {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dd := manhattan(&intervals[i].BBV, &intervals[m].BBV); dd < d {
+					d = dd
+				}
+			}
+			if d > farDist {
+				farDist, far = d, i
+			}
+		}
+		medoids = append(medoids, far)
+	}
+
+	assign := make([]int, len(intervals))
+	for iter := 0; iter < 20; iter++ {
+		// Assignment.
+		changed := false
+		for i := range intervals {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				if d := manhattan(&intervals[i].BBV, &intervals[m].BBV); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Medoid update: the member minimizing intra-cluster distance.
+		for c := range medoids {
+			bestM, bestCost := medoids[c], math.Inf(1)
+			for i := range intervals {
+				if assign[i] != c {
+					continue
+				}
+				cost := 0.0
+				for j := range intervals {
+					if assign[j] == c {
+						cost += manhattan(&intervals[i].BBV, &intervals[j].BBV)
+					}
+				}
+				if cost < bestCost {
+					bestCost, bestM = cost, i
+				}
+			}
+			medoids[c] = bestM
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	counts := make([]int, k)
+	for i := range intervals {
+		counts[assign[i]]++
+	}
+	var out []Simpoint
+	for c, m := range medoids {
+		if counts[c] == 0 {
+			continue
+		}
+		out = append(out, Simpoint{
+			Interval: intervals[m].Index,
+			Start:    intervals[m].Start,
+			Weight:   float64(counts[c]) / float64(len(intervals)),
+		})
+	}
+	// Order by weight descending (stable across runs: ties by interval).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b Simpoint) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	return a.Interval < b.Interval
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"udpsim/internal/isa"
+	"udpsim/internal/workload"
+)
+
+// Stats summarizes a trace: instruction mix, control-flow behaviour,
+// and footprint — the characterization data of the paper's Table I.
+type Stats struct {
+	Instructions uint64
+	Taken        uint64
+	Branches     uint64
+	Loads        uint64
+	Stores       uint64
+
+	// UniqueLines is the instruction-footprint in distinct cache lines.
+	UniqueLines int
+	// UniqueBlocks is the footprint in distinct fetch blocks.
+	UniqueBlocks int
+}
+
+// FootprintBytes returns the touched instruction footprint.
+func (s *Stats) FootprintBytes() int { return s.UniqueLines * isa.LineBytes }
+
+// TakenRatio returns taken transfers per instruction.
+func (s *Stats) TakenRatio() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Instructions)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("%d instrs, %d branches (%d taken), %d loads, %d stores, footprint %d KiB",
+		s.Instructions, s.Branches, s.Taken, s.Loads, s.Stores, s.FootprintBytes()/1024)
+}
+
+// Analyze scans a whole trace against its program image, accumulating
+// statistics.
+func Analyze(prog *workload.Program, r *Reader) (Stats, error) {
+	var s Stats
+	lines := make(map[uint64]struct{})
+	blocks := make(map[uint64]struct{})
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Instructions++
+		si := prog.InstrAt(rec.PC)
+		if si.IsBranch() {
+			s.Branches++
+		}
+		switch si.Class {
+		case isa.ClassLoad:
+			s.Loads++
+		case isa.ClassStore:
+			s.Stores++
+		}
+		if rec.Taken {
+			s.Taken++
+		}
+		lines[rec.PC.LineIndex()] = struct{}{}
+		blocks[uint64(rec.PC.Block())] = struct{}{}
+	}
+	s.UniqueLines = len(lines)
+	s.UniqueBlocks = len(blocks)
+	return s, nil
+}

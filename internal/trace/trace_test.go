@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"udpsim/internal/isa"
+	"udpsim/internal/workload"
+)
+
+func tinyProfile() workload.Profile {
+	p := workload.MustByName("postgres")
+	p.Funcs = 30
+	p.DispatchTargets = 20
+	return p
+}
+
+func TestRoundtripAgainstExecutor(t *testing.T) {
+	p := tinyProfile()
+	var buf bytes.Buffer
+	const n = 30_000
+	if err := RecordN(&buf, p, 5, n); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload() != p.Name || r.Seed() != p.Seed || r.Salt() != 5 {
+		t.Errorf("header: %s/%#x/%d", r.Workload(), r.Seed(), r.Salt())
+	}
+	prog := workload.MustGenerate(p)
+	live := workload.NewExecutor(prog, 5)
+	for i := 0; i < n; i++ {
+		rec, err := r.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := live.Next()
+		if rec.PC != want.PC() || rec.Taken != want.Taken || rec.Target != want.Target || rec.DataAddr != want.DataAddr {
+			t.Fatalf("record %d: %+v vs live %+v", i, rec, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+// Property: arbitrary record sequences survive the varint/delta
+// encoding bit-exactly.
+func TestRecordRoundtripProperty(t *testing.T) {
+	f := func(pcs []uint32, flags []bool) bool {
+		var recs []Record
+		for i, pc := range pcs {
+			taken := i < len(flags) && flags[i]
+			recs = append(recs, Record{
+				PC:       isa.Addr(pc) &^ 3,
+				Target:   isa.Addr(pc+8) &^ 3,
+				DataAddr: isa.Addr(pc * 3),
+				Taken:    taken,
+			})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, tinyProfile(), 0)
+		if err != nil {
+			return false
+		}
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, err := r.Read()
+			if err != nil {
+				return false
+			}
+			// DataAddr of 0 is encoded as "absent".
+			if want.DataAddr == 0 {
+				got.DataAddr = 0
+			}
+			if got != want {
+				return false
+			}
+		}
+		_, err = r.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE!\nxxxxx"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedTraceReported(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RecordN(&buf, tinyProfile(), 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the trace mid-record.
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err = r.Read(); err != nil {
+			break
+		}
+	}
+	if err == io.EOF && r.Count() == 100 {
+		t.Skip("truncation landed on a record boundary")
+	}
+	if err == nil {
+		t.Error("no error on truncated trace")
+	}
+}
+
+func TestReplayerMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RecordN(&buf, tinyProfile(), 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	other := tinyProfile()
+	other.Seed++
+	prog := workload.MustGenerate(other)
+	if _, err := NewReplayer(prog, r); err == nil {
+		t.Error("mismatched image accepted")
+	}
+}
+
+func TestReplayerStream(t *testing.T) {
+	p := tinyProfile()
+	var buf bytes.Buffer
+	if err := RecordN(&buf, p, 0, 5000); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	prog := workload.MustGenerate(p)
+	rp, err := NewReplayer(prog, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := workload.NewExecutor(prog, 0)
+	for i := 0; i < 5000; i++ {
+		a, b := rp.Next(), live.Next()
+		if a.PC() != b.PC() || a.Taken != b.Taken || a.Target != b.Target {
+			t.Fatalf("replay mismatch at %d", i)
+		}
+		if a.Static != b.Static {
+			t.Fatalf("replay static context not shared at %d", i)
+		}
+		if a.Seq != uint64(i+1) {
+			t.Fatalf("replay Seq %d at %d", a.Seq, i)
+		}
+	}
+}
+
+func TestReplayerPanicsPastEnd(t *testing.T) {
+	p := tinyProfile()
+	var buf bytes.Buffer
+	if err := RecordN(&buf, p, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	rp, _ := NewReplayer(workload.MustGenerate(p), r)
+	for i := 0; i < 3; i++ {
+		rp.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic past end")
+		}
+	}()
+	rp.Next()
+}
+
+func TestWriteAfterFlushFails(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, tinyProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if err := w.Write(Record{}); err == nil {
+		t.Error("write after flush succeeded")
+	}
+}
+
+func TestCompressionDensity(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 50_000
+	if err := RecordN(&buf, tinyProfile(), 0, n); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / n
+	if perInstr > 6 {
+		t.Errorf("%.2f bytes/instr — delta compression broken", perInstr)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	p := tinyProfile()
+	var buf bytes.Buffer
+	const n = 20_000
+	if err := RecordN(&buf, p, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	prog := workload.MustGenerate(p)
+	s, err := Analyze(prog, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions != n {
+		t.Errorf("Instructions = %d", s.Instructions)
+	}
+	if s.Branches == 0 || s.Loads == 0 || s.Stores == 0 || s.Taken == 0 {
+		t.Errorf("degenerate mix: %v", &s)
+	}
+	if s.UniqueLines == 0 || s.FootprintBytes() == 0 {
+		t.Error("no footprint measured")
+	}
+	if s.TakenRatio() <= 0 || s.TakenRatio() > 0.5 {
+		t.Errorf("taken ratio %v implausible", s.TakenRatio())
+	}
+}
+
+func TestIntervalsAndSelect(t *testing.T) {
+	p := tinyProfile()
+	var buf bytes.Buffer
+	if err := RecordN(&buf, p, 0, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	intervals, err := Intervals(r, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intervals) != 10 {
+		t.Fatalf("%d intervals", len(intervals))
+	}
+	for i, iv := range intervals {
+		sum := 0.0
+		for _, v := range iv.BBV {
+			if v < 0 {
+				t.Fatal("negative BBV component")
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("interval %d BBV not normalized: %v", i, sum)
+		}
+	}
+
+	points := Select(intervals, 3)
+	if len(points) == 0 || len(points) > 3 {
+		t.Fatalf("%d simpoints", len(points))
+	}
+	total := 0.0
+	for _, pt := range points {
+		total += pt.Weight
+		if pt.Start%10_000 != 0 {
+			t.Errorf("simpoint start %d not interval-aligned", pt.Start)
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("weights sum to %v", total)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Weight > points[i-1].Weight {
+			t.Error("simpoints not ordered by weight")
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	if Select(nil, 3) != nil {
+		t.Error("empty selection")
+	}
+	iv := []Interval{{Index: 0}}
+	pts := Select(iv, 5) // k > len
+	if len(pts) != 1 || pts[0].Weight != 1 {
+		t.Errorf("single-interval selection: %+v", pts)
+	}
+	pts = Select(iv, 0) // k <= 0
+	if len(pts) != 1 {
+		t.Errorf("k=0 selection: %+v", pts)
+	}
+}
+
+func TestIntervalsRejectsZeroLength(t *testing.T) {
+	var buf bytes.Buffer
+	RecordN(&buf, tinyProfile(), 0, 10)
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := Intervals(r, 0); err == nil {
+		t.Error("zero interval length accepted")
+	}
+}

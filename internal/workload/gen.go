@@ -1,0 +1,470 @@
+package workload
+
+import (
+	"fmt"
+
+	"udpsim/internal/isa"
+)
+
+// ImageBase is where generated code is laid out. Nonzero so address 0
+// can mean "invalid" throughout the simulator.
+const ImageBase isa.Addr = 0x400000
+
+// CondMeta describes the dynamic behaviour of one static conditional
+// branch; the executor consults it, the frontend never sees it.
+type CondMeta struct {
+	Behavior CondBehavior
+	// PTaken is the taken probability for CondBiased / CondIID.
+	PTaken float64
+	// Period and PatternBits define CondPeriodic: instance i is taken
+	// iff bit (i mod Period) of PatternBits is set.
+	Period      uint32
+	PatternBits uint64
+	// Trip is the loop trip count for CondLoop (taken Trip times, then
+	// not-taken once). TripJitter > 0 makes the per-entry trip uniform
+	// in [Trip-TripJitter, Trip+TripJitter].
+	Trip       uint32
+	TripJitter uint32
+}
+
+// IndirectMeta describes an indirect branch's dynamic target set.
+type IndirectMeta struct {
+	Targets []isa.Addr
+	// Cum is the cumulative probability over Targets (Zipf-skewed).
+	Cum []float64
+}
+
+// Program is a generated static program image plus the behaviour
+// metadata the executor needs.
+type Program struct {
+	profile Profile
+	code    []isa.StaticInstr
+	entry   isa.Addr
+
+	conds     map[isa.Addr]*CondMeta
+	indirects map[isa.Addr]*IndirectMeta
+
+	// FuncEntries holds every generated function's entry address;
+	// FuncEntries[0] is the dispatcher targets' table order.
+	FuncEntries []isa.Addr
+
+	// dispatcher bookkeeping for phase rotation
+	dispatchPC isa.Addr
+
+	// Static statistics.
+	NumCond     int
+	NumIndirect int
+	NumCalls    int
+}
+
+// builder accumulates instructions with backpatching for forward
+// branch targets.
+type builder struct {
+	prog  *Program
+	r     *rng
+	p     *Profile
+	depth int
+}
+
+// Generate builds the program image for a profile. Generation is fully
+// deterministic in Profile.Seed.
+func Generate(p Profile) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		profile:   p,
+		conds:     make(map[isa.Addr]*CondMeta),
+		indirects: make(map[isa.Addr]*IndirectMeta),
+	}
+	b := &builder{prog: prog, r: newRNG(p.Seed), p: &p}
+
+	// Assign call-graph levels: function i may only call functions with
+	// a strictly greater level, which rules out recursion.
+	levels := make([]int, p.Funcs)
+	for i := range levels {
+		levels[i] = b.r.intn(p.MaxCallDepth)
+	}
+
+	// Generate functions in address order. Callee selection needs every
+	// function's entry address, so run two passes: first a dry pass to
+	// compute sizes? Instead: generate bodies with *symbolic* callee
+	// choices resolved after layout. We emit call instructions with a
+	// placeholder and record fixups.
+	type callFixup struct {
+		idx    int // instruction index of the call
+		callee int // function id
+	}
+	var fixups []callFixup
+
+	prog.FuncEntries = make([]isa.Addr, p.Funcs)
+	for f := 0; f < p.Funcs; f++ {
+		prog.FuncEntries[f] = prog.nextAddr()
+		b.depth = 0
+		nStmts := b.r.rangeIn(p.StmtsPerFunc[0], p.StmtsPerFunc[1])
+		for s := 0; s < nStmts; s++ {
+			b.emitStatement(f, levels, func(callee int) {
+				fixups = append(fixups, callFixup{idx: len(prog.code) - 1, callee: callee})
+			})
+		}
+		b.emitReturn()
+	}
+
+	// Top-level dispatcher: an infinite loop around an indirect call
+	// that selects among the DispatchTargets hottest functions — the
+	// synthetic stand-in for the server's request-dispatch loop.
+	prog.entry = prog.nextAddr()
+	b.emitDispatcher()
+
+	// Resolve call targets.
+	for _, fx := range fixups {
+		prog.code[fx.idx].Target = prog.FuncEntries[fx.callee]
+	}
+
+	return prog, nil
+}
+
+// MustGenerate is Generate for statically known-good profiles.
+func MustGenerate(p Profile) *Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (pr *Program) nextAddr() isa.Addr {
+	return ImageBase + isa.Addr(len(pr.code)*isa.InstrBytes)
+}
+
+// emit appends an instruction, returning its index.
+func (pr *Program) emit(class isa.Class, kind isa.BranchKind, target isa.Addr) int {
+	pc := pr.nextAddr()
+	pr.code = append(pr.code, isa.StaticInstr{
+		PC:          pc,
+		Class:       class,
+		Branch:      kind,
+		Target:      target,
+		FallThrough: pc + isa.InstrBytes,
+	})
+	return len(pr.code) - 1
+}
+
+// emitStatement generates one statement (possibly nested).
+func (b *builder) emitStatement(funcID int, levels []int, onCall func(callee int)) {
+	p := b.p
+	wTotal := p.WStraight + p.WDiamond + p.WLoop + p.WCall + p.WSwitch
+	x := b.r.float() * wTotal
+	// Nested statements beyond MaxDepth degrade to straight-line code.
+	if b.depth >= p.MaxDepth {
+		b.emitStraight()
+		return
+	}
+	switch {
+	case x < p.WStraight:
+		b.emitStraight()
+	case x < p.WStraight+p.WDiamond:
+		b.emitDiamond(funcID, levels, onCall)
+	case x < p.WStraight+p.WDiamond+p.WLoop:
+		b.emitLoop(funcID, levels, onCall)
+	case x < p.WStraight+p.WDiamond+p.WLoop+p.WCall:
+		b.emitCall(funcID, levels)
+		if b.prog.code[len(b.prog.code)-1].Branch == isa.BranchCall {
+			onCall(int(b.prog.code[len(b.prog.code)-1].Target)) // placeholder; resolved below
+		}
+	default:
+		b.emitSwitch(funcID, levels, onCall)
+	}
+}
+
+// emitStraight emits a run of non-branch instructions with the profile's
+// load/store mix and data-region assignment.
+func (b *builder) emitStraight() {
+	n := b.r.rangeIn(b.p.BBLInstrs[0], b.p.BBLInstrs[1])
+	for i := 0; i < n; i++ {
+		x := b.r.float()
+		switch {
+		case x < b.p.LoadFrac:
+			idx := b.prog.emit(isa.ClassLoad, isa.BranchNone, 0)
+			b.prog.code[idx].DataAddr = b.dataAddr()
+		case x < b.p.LoadFrac+b.p.StoreFrac:
+			idx := b.prog.emit(isa.ClassStore, isa.BranchNone, 0)
+			b.prog.code[idx].DataAddr = b.dataAddr()
+		case x < b.p.LoadFrac+b.p.StoreFrac+0.05:
+			b.prog.emit(isa.ClassMul, isa.BranchNone, 0)
+		default:
+			b.prog.emit(isa.ClassALU, isa.BranchNone, 0)
+		}
+	}
+}
+
+// dataAddr assigns a static representative data address: either in the
+// small hot region (reused, cache-friendly) or the large random region.
+func (b *builder) dataAddr() isa.Addr {
+	const hotRegion = 0x10000000
+	const randRegion = 0x20000000
+	if b.r.float() < b.p.DataRandFrac {
+		span := b.p.DataRegionBytes
+		if span == 0 {
+			span = 1 << 24
+		}
+		return isa.Addr(randRegion + b.r.next()%span&^7)
+	}
+	return isa.Addr(hotRegion + uint64(b.r.intn(1<<15))&^7)
+}
+
+// condMeta draws a conditional behaviour from the profile mixture.
+func (b *builder) condMeta() *CondMeta {
+	x := b.r.float()
+	switch {
+	case x < b.p.FracBiased:
+		// Biased toward fallthrough: taken with small probability.
+		pt := b.p.BiasedP
+		if pt == 0 {
+			pt = 0.05
+		}
+		// Half the biased branches are biased-taken instead.
+		if b.r.float() < 0.5 {
+			pt = 1 - pt
+		}
+		return &CondMeta{Behavior: CondBiased, PTaken: pt}
+	case x < b.p.FracBiased+b.p.FracPeriodic:
+		period := uint32(b.r.rangeIn(2, 8))
+		return &CondMeta{
+			Behavior:    CondPeriodic,
+			Period:      period,
+			PatternBits: b.r.next() | 1, // ensure at least one taken slot
+		}
+	default:
+		pt := b.p.IIDP
+		if pt == 0 {
+			pt = 0.5
+		}
+		return &CondMeta{Behavior: CondIID, PTaken: pt}
+	}
+}
+
+// emitDiamond generates
+//
+//	cond-branch (taken -> ELSE)
+//	THEN: stmts...; jmp MERGE
+//	ELSE: stmts...
+//	MERGE: ...
+//
+// giving the program explicit merge points, the code shape whose
+// off-path prefetch usefulness the paper analyzes (Fig. 7).
+func (b *builder) emitDiamond(funcID int, levels []int, onCall func(int)) {
+	b.depth++
+	defer func() { b.depth-- }()
+
+	condIdx := b.prog.emit(isa.ClassBranch, isa.BranchCond, 0)
+	b.prog.NumCond++
+	b.prog.conds[b.prog.code[condIdx].PC] = b.condMeta()
+
+	// THEN arm.
+	b.emitStraight()
+	nest := b.p.NestProb
+	if nest == 0 {
+		nest = 0.3
+	}
+	if b.depth < b.p.MaxDepth && b.r.float() < nest {
+		b.emitStatement(funcID, levels, onCall)
+	}
+	jmpIdx := b.prog.emit(isa.ClassBranch, isa.BranchUncond, 0)
+
+	// ELSE arm starts here; backpatch the conditional.
+	b.prog.code[condIdx].Target = b.prog.nextAddr()
+	b.emitStraight()
+	if b.depth < b.p.MaxDepth && b.r.float() < nest {
+		b.emitStatement(funcID, levels, onCall)
+	}
+
+	// MERGE point; backpatch the jump.
+	b.prog.code[jmpIdx].Target = b.prog.nextAddr()
+	// A short post-merge block guarantees the merge point has real code
+	// that both paths execute.
+	b.emitStraight()
+}
+
+// emitLoop generates
+//
+//	HEADER: body stmts...
+//	        cond-branch (taken -> HEADER)
+//
+// Trip counts shrink with call-graph level and statement nesting depth:
+// loops multiply across nesting AND across call chains (a loop body
+// calling a function that loops), so un-damped trip counts make the
+// expected instructions-per-dispatch unbounded and the executor can
+// disappear into one function for millions of instructions.
+func (b *builder) emitLoop(funcID int, levels []int, onCall func(int)) {
+	b.depth++
+	defer func() { b.depth-- }()
+
+	header := b.prog.nextAddr()
+	b.emitStraight()
+	nest := b.p.NestProb
+	if nest == 0 {
+		nest = 0.4
+	}
+	if b.depth < b.p.MaxDepth && b.r.float() < nest {
+		b.emitStatement(funcID, levels, onCall)
+	}
+	backIdx := b.prog.emit(isa.ClassBranch, isa.BranchCond, header)
+	b.prog.NumCond++
+	damp := uint(levels[funcID]) + uint(b.depth-1)
+	hi := b.p.LoopTrip[1] >> damp
+	if hi < b.p.LoopTrip[0] {
+		hi = b.p.LoopTrip[0]
+	}
+	trip := uint32(b.r.rangeIn(b.p.LoopTrip[0], hi))
+	meta := &CondMeta{Behavior: CondLoop, Trip: trip}
+	if b.p.LoopTripVariable && trip > 2 {
+		meta.TripJitter = trip / 2
+	}
+	b.prog.conds[b.prog.code[backIdx].PC] = meta
+}
+
+// emitCall emits a direct call to a function at a strictly deeper
+// call-graph level (no recursion). When no deeper function exists the
+// statement degrades to straight-line code.
+func (b *builder) emitCall(funcID int, levels []int) {
+	myLevel := levels[funcID]
+	// Sample a few candidates for a deeper callee.
+	for try := 0; try < 8; try++ {
+		callee := b.r.intn(len(levels))
+		if levels[callee] > myLevel {
+			// Target holds the callee *function id* until fixup.
+			b.prog.emit(isa.ClassBranch, isa.BranchCall, isa.Addr(callee))
+			b.prog.NumCalls++
+			return
+		}
+	}
+	b.emitStraight()
+}
+
+// emitSwitch generates an indirect jump over K case blocks, each ending
+// with a jump to a common merge point — modelling switch statements and
+// virtual dispatch within a function.
+func (b *builder) emitSwitch(funcID int, levels []int, onCall func(int)) {
+	b.depth++
+	defer func() { b.depth-- }()
+
+	k := b.r.rangeIn(b.p.SwitchTargets[0], b.p.SwitchTargets[1])
+	ijIdx := b.prog.emit(isa.ClassBranch, isa.BranchIndirect, 0)
+	b.prog.NumIndirect++
+
+	caseStarts := make([]isa.Addr, k)
+	mergeJumps := make([]int, k)
+	for c := 0; c < k; c++ {
+		caseStarts[c] = b.prog.nextAddr()
+		b.emitStraight()
+		mergeJumps[c] = b.prog.emit(isa.ClassBranch, isa.BranchUncond, 0)
+	}
+	merge := b.prog.nextAddr()
+	for _, idx := range mergeJumps {
+		b.prog.code[idx].Target = merge
+	}
+	b.emitStraight()
+
+	// Case popularity: Zipf with mild skew so indirect predictors can
+	// learn the hot cases but still miss.
+	cum := zipfWeights(k, 1.2, b.r)
+	b.prog.indirects[b.prog.code[ijIdx].PC] = &IndirectMeta{Targets: caseStarts, Cum: cum}
+	b.prog.code[ijIdx].Target = caseStarts[0] // most common target
+}
+
+// emitReturn terminates a function.
+func (b *builder) emitReturn() {
+	b.prog.emit(isa.ClassBranch, isa.BranchReturn, 0)
+}
+
+// emitDispatcher generates the top-level request loop:
+//
+//	LOOP: some work
+//	      icall [dispatch over hot functions]
+//	      jmp LOOP
+func (b *builder) emitDispatcher() {
+	loop := b.prog.nextAddr()
+	b.emitStraight()
+	icIdx := b.prog.emit(isa.ClassBranch, isa.BranchIndirectCall, 0)
+	b.prog.NumIndirect++
+	b.prog.dispatchPC = b.prog.code[icIdx].PC
+
+	n := b.p.DispatchTargets
+	if n <= 0 || n > len(b.prog.FuncEntries) {
+		n = len(b.prog.FuncEntries)
+	}
+	targets := make([]isa.Addr, n)
+	copy(targets, b.prog.FuncEntries[:n])
+	s := b.p.DispatchZipf
+	if s == 0 {
+		s = 1.0
+	}
+	cum := zipfWeights(n, s, b.r)
+	b.prog.indirects[b.prog.dispatchPC] = &IndirectMeta{Targets: targets, Cum: cum}
+	b.prog.code[icIdx].Target = targets[0]
+
+	b.prog.emit(isa.ClassBranch, isa.BranchUncond, loop)
+}
+
+// --- image queries (hot path for the frontend) ---
+
+// Entry returns the program's start address.
+func (pr *Program) Entry() isa.Addr { return pr.entry }
+
+// Size returns the number of static instructions.
+func (pr *Program) Size() int { return len(pr.code) }
+
+// FootprintBytes returns the code footprint.
+func (pr *Program) FootprintBytes() int { return len(pr.code) * isa.InstrBytes }
+
+// padNop is returned for walks outside the image (deep wrong path).
+var padNop = isa.StaticInstr{Class: isa.ClassNop}
+
+// InstrAt returns the static instruction at pc. Addresses outside the
+// image (reachable only on the wrong path) return a synthetic nop at
+// that pc so the frontend can keep walking — and polluting the icache —
+// exactly as hardware running into unmapped bytes would.
+func (pr *Program) InstrAt(pc isa.Addr) *isa.StaticInstr {
+	if pc < ImageBase || uint64(pc-ImageBase)%isa.InstrBytes != 0 {
+		n := padNop
+		n.PC = pc
+		n.FallThrough = pc + isa.InstrBytes
+		return &n
+	}
+	idx := uint64(pc-ImageBase) / isa.InstrBytes
+	if idx >= uint64(len(pr.code)) {
+		n := padNop
+		n.PC = pc
+		n.FallThrough = pc + isa.InstrBytes
+		return &n
+	}
+	return &pr.code[idx]
+}
+
+// InImage reports whether pc falls inside the generated code.
+func (pr *Program) InImage(pc isa.Addr) bool {
+	if pc < ImageBase || uint64(pc-ImageBase)%isa.InstrBytes != 0 {
+		return false
+	}
+	return uint64(pc-ImageBase)/isa.InstrBytes < uint64(len(pr.code))
+}
+
+// CondMetaAt exposes conditional behaviour (executor + tests).
+func (pr *Program) CondMetaAt(pc isa.Addr) *CondMeta { return pr.conds[pc] }
+
+// IndirectMetaAt exposes indirect target sets (executor + tests).
+func (pr *Program) IndirectMetaAt(pc isa.Addr) *IndirectMeta { return pr.indirects[pc] }
+
+// Profile returns the generating profile.
+func (pr *Program) Profile() Profile { return pr.profile }
+
+// DispatchPC returns the top-level dispatcher's indirect call address.
+func (pr *Program) DispatchPC() isa.Addr { return pr.dispatchPC }
+
+// String summarizes the image.
+func (pr *Program) String() string {
+	return fmt.Sprintf("%s: %d instrs (%d KiB), %d funcs, %d cond, %d indirect, %d calls",
+		pr.profile.Name, len(pr.code), pr.FootprintBytes()/1024, len(pr.FuncEntries),
+		pr.NumCond, pr.NumIndirect, pr.NumCalls)
+}

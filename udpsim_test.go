@@ -1,0 +1,94 @@
+package udpsim_test
+
+import (
+	"testing"
+
+	"udpsim"
+)
+
+func quickConfig(m udpsim.Mechanism) udpsim.Config {
+	prof, err := udpsim.WorkloadProfile("mysql")
+	if err != nil {
+		panic(err)
+	}
+	prof.Funcs = 60
+	prof.DispatchTargets = 40
+	cfg := udpsim.NewConfigFor(prof, m)
+	cfg.MaxInstructions = 60_000
+	cfg.WarmupInstructions = 20_000
+	return cfg
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	res, err := udpsim.Run(quickConfig(udpsim.MechBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Instructions < 60_000 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := udpsim.Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// package's list.
+	ws[0] = "corrupted"
+	if udpsim.Workloads()[0] == "corrupted" {
+		t.Error("Workloads returns aliased state")
+	}
+	for _, name := range udpsim.Workloads() {
+		if _, err := udpsim.WorkloadProfile(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := udpsim.WorkloadProfile("unknown"); err == nil {
+		t.Error("unknown workload resolved")
+	}
+}
+
+func TestPublicSimpoints(t *testing.T) {
+	results, agg, err := udpsim.RunSimpoints(quickConfig(udpsim.MechBaseline), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || agg.Instructions == 0 {
+		t.Errorf("simpoints: %d results, agg %+v", len(results), agg)
+	}
+}
+
+func TestPublicMachineStepping(t *testing.T) {
+	m, err := udpsim.NewMachine(quickConfig(udpsim.MechUDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunInstructions(10_000)
+	if m.Cycle() == 0 {
+		t.Error("machine did not advance")
+	}
+	snap := m.Snapshot()
+	if snap.Instructions < 10_000 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+func TestSpeedupAndGeomean(t *testing.T) {
+	a := udpsim.Result{IPC: 1.1}
+	b := udpsim.Result{IPC: 1.0}
+	if s := udpsim.Speedup(a, b); s < 0.0999 || s > 0.1001 {
+		t.Errorf("speedup %v", s)
+	}
+	if g := udpsim.Geomean([]float64{0.1, 0.1}); g < 0.0999 || g > 0.1001 {
+		t.Errorf("geomean %v", g)
+	}
+}
+
+func TestDefaultExperimentOptions(t *testing.T) {
+	o := udpsim.DefaultExperimentOptions()
+	if o.Instructions == 0 || o.Warmup == 0 {
+		t.Errorf("options %+v", o)
+	}
+}
