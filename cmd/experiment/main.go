@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		file    = flag.String("f", "", "descriptor JSON file")
-		out     = flag.String("o", "", "CSV output path (default stdout)")
-		base    = flag.String("speedup-base", "", "also print per-workload speedups over this config label")
-		verbose = flag.Bool("v", false, "print per-run progress")
+		file     = flag.String("f", "", "descriptor JSON file")
+		out      = flag.String("o", "", "CSV output path (default stdout)")
+		base     = flag.String("speedup-base", "", "also print per-workload speedups over this config label")
+		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
+		verbose  = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -45,7 +46,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "experiment %q: %d workloads × %d configs × %d simpoints\n",
 		d.Name, len(d.Workloads), len(d.Configs), d.Simpoints)
-	results, err := experiments.RunDescriptor(d, progress)
+	results, err := experiments.RunDescriptor(d, progress, *parallel)
 	if err != nil {
 		fatal(err)
 	}

@@ -36,6 +36,7 @@ func main() {
 		simpoints = flag.Int("simpoints", 0, "override simpoints per app")
 		apps      = flag.String("workloads", "", "comma-separated workload subset")
 		svgDir    = flag.String("svg", "", "also write FigureNN.svg files into this directory")
+		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical at any -j")
 		verbose   = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 	if *apps != "" {
 		o.Workloads = strings.Split(*apps, ",")
 	}
+	o.Parallelism = *parallel
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}

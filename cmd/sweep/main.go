@@ -16,18 +16,20 @@ import (
 	"strconv"
 	"strings"
 
+	"udpsim/internal/experiments"
 	"udpsim/internal/sim"
 	"udpsim/internal/workload"
 )
 
 func main() {
 	var (
-		name   = flag.String("workload", "mysql", "application to simulate")
-		mech   = flag.String("mechanism", "baseline", "prefetch mechanism")
-		param  = flag.String("param", "ftq", "swept parameter: ftq, btb, icache")
-		values = flag.String("values", "", "comma-separated sweep values (defaults per param)")
-		instrs = flag.Uint64("instrs", 500_000, "instructions per run")
-		warmup = flag.Uint64("warmup", 500_000, "warmup instructions")
+		name     = flag.String("workload", "mysql", "application to simulate")
+		mech     = flag.String("mechanism", "baseline", "prefetch mechanism")
+		param    = flag.String("param", "ftq", "swept parameter: ftq, btb, icache")
+		values   = flag.String("values", "", "comma-separated sweep values (defaults per param)")
+		instrs   = flag.Uint64("instrs", 500_000, "instructions per run")
+		warmup   = flag.Uint64("warmup", 500_000, "warmup instructions")
+		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
 	)
 	flag.Parse()
 
@@ -49,19 +51,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("# workload=%s mechanism=%s param=%s\n", *name, *mech, *param)
-	fmt.Println("value,ipc,icache_mpki,timeliness,onpath_ratio,usefulness,mean_ftq_occ,lost_pki")
-	for _, v := range grid {
+	// Run the whole grid on a bounded worker pool; results land in
+	// grid order so the CSV is identical at any -j.
+	results := make([]sim.Result, len(grid))
+	err = experiments.ForEach(len(grid), *parallel, func(i int) error {
 		cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
 		cfg.MaxInstructions = *instrs
 		cfg.WarmupInstructions = *warmup
-		applyParam(&cfg, *param, v)
+		applyParam(&cfg, *param, grid[i])
 		m, err := sim.NewMachineWithProgram(cfg, prog)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("value %d: %w", grid[i], err)
 		}
-		r := m.Run()
+		results[i] = m.Run()
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# workload=%s mechanism=%s param=%s\n", *name, *mech, *param)
+	fmt.Println("value,ipc,icache_mpki,timeliness,onpath_ratio,usefulness,mean_ftq_occ,lost_pki")
+	for i, v := range grid {
+		r := results[i]
 		fmt.Printf("%d,%.4f,%.2f,%.3f,%.3f,%.3f,%.1f,%.0f\n",
 			v, r.IPC, r.IcacheMPKI, r.Timeliness, r.OnPathRatio, r.Usefulness, r.MeanFTQOcc, r.LostInstrsPKI)
 	}
@@ -99,8 +112,11 @@ func applyParam(cfg *sim.Config, param string, v int) {
 		cfg.BTBEntries = v
 	case "icache":
 		cfg.ICacheBytes = v
-		if v == 40*1024 {
-			cfg.ICacheWays = 10
+		// Pick the associativity automatically so non-power-of-two
+		// sizes (40 KiB, 48 KiB, ...) keep a power-of-two set count;
+		// sim.NewMachineWithProgram rejects invalid geometries.
+		if w := sim.AutoWays(v); w > 0 {
+			cfg.ICacheWays = w
 		}
 	}
 }

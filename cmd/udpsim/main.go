@@ -30,6 +30,7 @@ func main() {
 		instrs    = flag.Uint64("instrs", 2_000_000, "instructions to simulate per simpoint")
 		warmup    = flag.Uint64("warmup", 200_000, "warmup instructions (excluded from stats)")
 		simpoints = flag.Int("simpoints", 1, "number of simulated regions")
+		parallel  = flag.Int("j", 1, "max concurrently simulated regions (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 		udpThresh = flag.Int("udp-threshold", 0, "override UDP confidence threshold")
 		udpHidden = flag.Bool("udp-hidden", true, "enable UDP hidden-taken-branch trigger")
@@ -64,8 +65,8 @@ func main() {
 	cfg.FTQDepth = *ftq
 	cfg.BTBEntries = *btb
 	cfg.ICacheBytes = *icache
-	if *icache == 40*1024 {
-		cfg.ICacheWays = 10 // 40 KiB needs 10 ways for power-of-two sets
+	if w := sim.AutoWays(*icache); w > 0 {
+		cfg.ICacheWays = w // keeps the set count a power of two for any size
 	}
 	cfg.MaxInstructions = *instrs
 	cfg.WarmupInstructions = *warmup
@@ -78,7 +79,7 @@ func main() {
 	}
 	cfg.PredecodeBTBFill = *btbFill
 
-	results, agg, err := sim.RunSimpoints(cfg, *simpoints)
+	results, agg, err := sim.RunSimpointsParallel(cfg, *simpoints, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "udpsim: %v\n", err)
 		os.Exit(1)

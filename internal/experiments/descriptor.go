@@ -114,37 +114,61 @@ type DescriptorResult struct {
 	Result   sim.Result
 }
 
-// RunDescriptor executes the full cross product; progress (if non-nil)
-// receives one line per completed cell.
-func RunDescriptor(d *Descriptor, progress func(string)) ([]DescriptorResult, error) {
-	var out []DescriptorResult
+// RunDescriptor executes the full cross product with up to parallelism
+// cells simulated concurrently (<= 0 means GOMAXPROCS); progress (if
+// non-nil) receives one line per completed cell, serialized but in
+// completion order. Results are always in descriptor (workload-major)
+// order regardless of parallelism, and errors across the grid are
+// aggregated.
+func RunDescriptor(d *Descriptor, progress func(string), parallelism int) ([]DescriptorResult, error) {
+	type cell struct {
+		workload string
+		spec     ConfigSpec
+	}
+	var cells []cell
 	for _, w := range d.Workloads {
-		prof := workload.MustByName(w)
 		for _, cs := range d.Configs {
-			cfg := sim.NewConfig(prof, sim.Mechanism(cs.Mechanism))
-			cfg.MaxInstructions = d.Instructions
-			cfg.WarmupInstructions = d.Warmup
-			if cs.FTQ > 0 {
-				cfg.FTQDepth = cs.FTQ
-			}
-			if cs.BTB > 0 {
-				cfg.BTBEntries = cs.BTB
-			}
-			if cs.ICacheKB > 0 {
-				cfg.ICacheBytes = cs.ICacheKB * 1024
-			}
-			if cs.ICacheWays > 0 {
-				cfg.ICacheWays = cs.ICacheWays
-			}
-			_, agg, err := sim.RunSimpoints(cfg, d.Simpoints)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", w, cs.Label, err)
-			}
-			out = append(out, DescriptorResult{Workload: w, Label: cs.Label, Result: agg})
-			if progress != nil {
-				progress(fmt.Sprintf("%s/%s: IPC %.4f", w, cs.Label, agg.IPC))
+			cells = append(cells, cell{workload: w, spec: cs})
+		}
+	}
+	out := make([]DescriptorResult, len(cells))
+	err := ForEach(len(cells), parallelism, func(i int) error {
+		c := cells[i]
+		prof := workload.MustByName(c.workload)
+		cfg := sim.NewConfig(prof, sim.Mechanism(c.spec.Mechanism))
+		cfg.MaxInstructions = d.Instructions
+		cfg.WarmupInstructions = d.Warmup
+		if c.spec.FTQ > 0 {
+			cfg.FTQDepth = c.spec.FTQ
+		}
+		if c.spec.BTB > 0 {
+			cfg.BTBEntries = c.spec.BTB
+		}
+		if c.spec.ICacheKB > 0 {
+			cfg.ICacheBytes = c.spec.ICacheKB * 1024
+			if c.spec.ICacheWays <= 0 {
+				// Pick an associativity that keeps the set count a
+				// power of two for non-power-of-two sizes.
+				cfg.ICacheWays = sim.AutoWays(cfg.ICacheBytes)
 			}
 		}
+		if c.spec.ICacheWays > 0 {
+			cfg.ICacheWays = c.spec.ICacheWays
+		}
+		_, agg, err := sim.RunSimpoints(cfg, d.Simpoints)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", c.workload, c.spec.Label, err)
+		}
+		out[i] = DescriptorResult{Workload: c.workload, Label: c.spec.Label, Result: agg}
+		if progress != nil {
+			progressMu.Lock()
+			progress(fmt.Sprintf("%s/%s: IPC %.4f", c.workload, c.spec.Label, agg.IPC))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

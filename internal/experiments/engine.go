@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"udpsim/internal/sim"
+)
+
+// This file is the parallel run engine behind every figure/table
+// driver: the full (workload, mechanism, config) grid of a driver is
+// materialized as a job list up front and executed on a bounded worker
+// pool, while results are collected positionally so the output order —
+// and therefore every rendered table, series and CSV — is byte-for-byte
+// identical at any parallelism.
+//
+// The process-wide result cache is singleflighted: when two concurrent
+// jobs (or two figures sharing a baseline) request the same canonical
+// config key, the second blocks on the first runner instead of
+// simulating the same deterministic region twice. Waiters never
+// deadlock the pool: an in-flight entry only exists once its runner
+// already occupies a worker slot, so every waiter's dependency is
+// guaranteed to be executing.
+
+// resultCache memoizes completed runs process-wide: several figures
+// share configurations (every speedup figure needs the same baselines,
+// Fig. 11/12 and Table III all need the Fig. 3 sweep), and simulations
+// are deterministic, so recomputing them is pure waste.
+var (
+	resultMu       sync.Mutex
+	resultCache    = map[string]sim.Result{}
+	resultInflight = map[string]*resultCall{}
+)
+
+type resultCall struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// parallelism resolves the worker-pool width: Options.Parallelism when
+// positive, else GOMAXPROCS.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// jobSpec is one simulation of a driver's grid.
+type jobSpec struct {
+	app    string
+	mech   sim.Mechanism
+	mutate func(*sim.Config)
+}
+
+// runAll executes the jobs on a bounded worker pool and returns their
+// results in input order. Errors are aggregated (errors.Join) rather
+// than short-circuiting, so a failed cell reports every failure of the
+// grid at once.
+func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := o.parallelism()
+	if workers <= 1 || len(jobs) <= 1 {
+		for i, j := range jobs {
+			results[i], errs[i] = o.run(j.app, j.mech, j.mutate)
+		}
+		return results, errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j jobSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = o.run(j.app, j.mech, j.mutate)
+		}(i, j)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// ForEach runs fn(i) for i in [0, n) on a bounded worker pool of the
+// given width (<= 0 means GOMAXPROCS, 1 runs serially) and aggregates
+// all errors — the engine primitive for grids whose per-cell work is
+// not a plain Options.run call (Table I's trace characterization,
+// descriptor cells, cmd/sweep's grid). fn must write its result into
+// slot i of a caller-owned slice so output order stays deterministic.
+func ForEach(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, n)
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -29,7 +29,14 @@ type Options struct {
 	Simpoints int
 	// Workloads restricts the evaluated applications (default: all 10).
 	Workloads []string
+	// Parallelism bounds how many simulations run concurrently
+	// (<= 0 means GOMAXPROCS). Results are deterministic at any value:
+	// jobs are collected in input-grid order and every machine is
+	// seeded independently.
+	Parallelism int
 	// Progress, when non-nil, receives a line per completed run.
+	// Invocations are serialized, but under parallelism the lines
+	// arrive in completion order, not grid order.
 	Progress func(string)
 }
 
@@ -61,22 +68,23 @@ func (o Options) workloads() []string {
 	return workload.Names
 }
 
+// progressMu serializes Progress callbacks: under the parallel engine
+// several workers complete at once, and fanned-in lines must not
+// interleave mid-callback.
+var progressMu sync.Mutex
+
 func (o Options) progress(format string, args ...any) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		o.Progress(fmt.Sprintf(format, args...))
 	}
 }
 
-// resultCache memoizes completed runs process-wide: several figures
-// share configurations (every speedup figure needs the same baselines,
-// Fig. 11/12 and Table III all need the Fig. 3 sweep), and simulations
-// are deterministic, so recomputing them is pure waste.
-var (
-	resultMu    sync.Mutex
-	resultCache = map[string]sim.Result{}
-)
-
-// run executes one configuration over the option's simpoints.
+// run executes one configuration over the option's simpoints, memoized
+// process-wide and singleflighted: concurrent callers with the same
+// canonical config key block on the first runner instead of simulating
+// the same deterministic region twice.
 func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) (sim.Result, error) {
 	prof := workload.MustByName(name)
 	cfg := sim.NewConfig(prof, mech)
@@ -85,20 +93,44 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	key := fmt.Sprintf("%+v|%d", cfg, o.Simpoints)
+	key := fmt.Sprintf("%s|sp=%d", sim.ConfigKey(cfg), o.Simpoints)
+
 	resultMu.Lock()
-	cached, ok := resultCache[key]
-	resultMu.Unlock()
-	if ok {
+	if cached, ok := resultCache[key]; ok {
+		resultMu.Unlock()
+		o.progress("%s/%s ftq=%d: IPC %.4f (cached)", name, mech, cached.FinalFTQDepth, cached.IPC)
 		return cached, nil
 	}
+	if call, ok := resultInflight[key]; ok {
+		// Another goroutine is already simulating this key: wait for
+		// it. The runner necessarily holds a worker slot already, so
+		// waiting here cannot deadlock the pool.
+		resultMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return sim.Result{}, call.err
+		}
+		o.progress("%s/%s ftq=%d: IPC %.4f (cached)", name, mech, call.res.FinalFTQDepth, call.res.IPC)
+		return call.res, nil
+	}
+	call := &resultCall{done: make(chan struct{})}
+	resultInflight[key] = call
+	resultMu.Unlock()
+
 	_, agg, err := sim.RunSimpoints(cfg, o.Simpoints)
+
+	resultMu.Lock()
+	if err == nil {
+		resultCache[key] = agg
+	}
+	call.res, call.err = agg, err
+	delete(resultInflight, key)
+	resultMu.Unlock()
+	close(call.done)
+
 	if err != nil {
 		return sim.Result{}, err
 	}
-	resultMu.Lock()
-	resultCache[key] = agg
-	resultMu.Unlock()
 	o.progress("%s/%s ftq=%d: IPC %.4f", name, mech, agg.FinalFTQDepth, agg.IPC)
 	return agg, nil
 }
@@ -121,18 +153,31 @@ type SweepSeries struct {
 // FTQDepths is the sweep grid used for Figs. 3-6 and 8.
 var FTQDepths = []int{8, 12, 16, 24, 32, 48, 64, 96, 128}
 
-// sweepMetric runs the FTQ sweep collecting one metric per depth.
+// sweepMetric runs the FTQ sweep collecting one metric per depth. The
+// whole apps × depths grid is submitted to the worker pool at once;
+// series are assembled in input-grid order.
 func (o Options) sweepMetric(metric func(sim.Result) float64) ([]SweepSeries, error) {
-	var out []SweepSeries
-	for _, app := range o.workloads() {
-		s := SweepSeries{App: app, X: FTQDepths}
+	apps := o.workloads()
+	var jobs []jobSpec
+	for _, app := range apps {
 		for _, d := range FTQDepths {
 			depth := d
-			r, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = depth })
-			if err != nil {
-				return nil, err
-			}
-			s.Values = append(s.Values, metric(r))
+			jobs = append(jobs, jobSpec{
+				app:    app,
+				mech:   sim.MechBaseline,
+				mutate: func(c *sim.Config) { c.FTQDepth = depth },
+			})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepSeries
+	for ai, app := range apps {
+		s := SweepSeries{App: app, X: FTQDepths}
+		for di := range FTQDepths {
+			s.Values = append(s.Values, metric(results[ai*len(FTQDepths)+di]))
 		}
 		out = append(out, s)
 	}
@@ -142,23 +187,24 @@ func (o Options) sweepMetric(metric func(sim.Result) float64) ([]SweepSeries, er
 // Figure1 measures the IPC speedup of a perfect icache over the FDIP-32
 // baseline for each application.
 func Figure1(o Options) ([]SpeedupRow, error) {
+	apps := o.workloads()
+	mechs := []sim.Mechanism{sim.MechBaseline, sim.MechPerfectICache, sim.MechNoPrefetch}
+	var jobs []jobSpec
+	for _, app := range apps {
+		for _, m := range mechs {
+			jobs = append(jobs, jobSpec{app: app, mech: m})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []SpeedupRow
-	for _, app := range o.workloads() {
-		base, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, err
-		}
-		perfect, err := o.run(app, sim.MechPerfectICache, nil)
-		if err != nil {
-			return nil, err
-		}
-		nopf, err := o.run(app, sim.MechNoPrefetch, nil)
-		if err != nil {
-			return nil, err
-		}
+	for ai, app := range apps {
+		base := results[ai*len(mechs)]
 		rows = append(rows, SpeedupRow{App: app, Speedups: map[string]float64{
-			"perfect-icache": perfect.Speedup(base),
-			"no-prefetch":    nopf.Speedup(base),
+			"perfect-icache": results[ai*len(mechs)+1].Speedup(base),
+			"no-prefetch":    results[ai*len(mechs)+2].Speedup(base),
 		}})
 	}
 	return rows, nil
@@ -182,14 +228,31 @@ func Figure3(o Options) ([]SweepSeries, map[string]int, error) {
 			}
 		}
 		optima[s.App] = s.X[bestIdx]
-		base := valueAt(s, 32)
-		if base > 0 {
-			for j, v := range s.Values {
-				s.Values[j] = v/base - 1
-			}
-		}
+	}
+	if err := normalizeSweep(series, 32); err != nil {
+		return nil, nil, err
 	}
 	return series, optima, nil
+}
+
+// normalizeSweep rewrites every series value into a fractional speedup
+// over the series value at x = baseX. A missing or non-positive
+// baseline is an error: silently leaving a series as raw IPCs would
+// mix absolute and relative values across apps (the old fall-through
+// bug).
+func normalizeSweep(series []SweepSeries, baseX int) error {
+	for i := range series {
+		s := &series[i]
+		base := valueAt(s, baseX)
+		if base <= 0 {
+			return fmt.Errorf("experiments: %s has no positive baseline at x=%d (got %g); cannot normalize",
+				s.App, baseX, base)
+		}
+		for j, v := range s.Values {
+			s.Values[j] = v/base - 1
+		}
+	}
+	return nil
 }
 
 // Figure4 reports the timeliness ratio across FTQ depths.
@@ -227,17 +290,22 @@ func Table3(o Options) ([]Table3Row, float64, float64, error) {
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	apps := o.workloads()
+	jobs := make([]jobSpec, len(apps))
+	for i, app := range apps {
+		jobs[i] = jobSpec{app: app, mech: sim.MechBaseline}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	var rows []Table3Row
-	for _, app := range o.workloads() {
-		r, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, 0, 0, err
-		}
+	for i, app := range apps {
 		rows = append(rows, Table3Row{
 			App:        app,
 			OptimalFTQ: optima[app],
-			Utility:    r.Usefulness,
-			Timeliness: r.Timeliness,
+			Utility:    results[i].Usefulness,
+			Timeliness: results[i].Timeliness,
 		})
 	}
 	var fs, us, ts []float64
@@ -259,26 +327,30 @@ func Figure11(o Options) ([]SpeedupRow, map[string]int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var rows []SpeedupRow
-	for _, app := range o.workloads() {
-		base, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := SpeedupRow{App: app, Speedups: map[string]float64{}}
+	apps := o.workloads()
+	stride := len(UFTQSeries) + 2 // baseline, UFTQ variants, OPT
+	var jobs []jobSpec
+	for _, app := range apps {
+		jobs = append(jobs, jobSpec{app: app, mech: sim.MechBaseline})
 		for _, mech := range UFTQSeries {
-			r, err := o.run(app, mech, nil)
-			if err != nil {
-				return nil, nil, err
-			}
-			row.Speedups[string(mech)] = r.Speedup(base)
+			jobs = append(jobs, jobSpec{app: app, mech: mech})
 		}
 		opt := optima[app]
-		r, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = opt })
-		if err != nil {
-			return nil, nil, err
+		jobs = append(jobs, jobSpec{app: app, mech: sim.MechBaseline,
+			mutate: func(c *sim.Config) { c.FTQDepth = opt }})
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []SpeedupRow
+	for ai, app := range apps {
+		base := results[ai*stride]
+		row := SpeedupRow{App: app, Speedups: map[string]float64{}}
+		for mi, mech := range UFTQSeries {
+			row.Speedups[string(mech)] = results[ai*stride+1+mi].Speedup(base)
 		}
-		row.Speedups["opt"] = r.Speedup(base)
+		row.Speedups["opt"] = results[ai*stride+stride-1].Speedup(base)
 		rows = append(rows, row)
 	}
 	return rows, optima, nil
@@ -296,27 +368,30 @@ func Figure12(o Options) ([]MPKIRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []MPKIRow
-	for _, app := range o.workloads() {
-		row := MPKIRow{App: app, MPKI: map[string]float64{}}
-		base, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, err
-		}
-		row.MPKI["baseline"] = base.IcacheMPKI
+	apps := o.workloads()
+	stride := len(UFTQSeries) + 2
+	var jobs []jobSpec
+	for _, app := range apps {
+		jobs = append(jobs, jobSpec{app: app, mech: sim.MechBaseline})
 		for _, mech := range UFTQSeries {
-			r, err := o.run(app, mech, nil)
-			if err != nil {
-				return nil, err
-			}
-			row.MPKI[string(mech)] = r.IcacheMPKI
+			jobs = append(jobs, jobSpec{app: app, mech: mech})
 		}
 		opt := optima[app]
-		r, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = opt })
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, jobSpec{app: app, mech: sim.MechBaseline,
+			mutate: func(c *sim.Config) { c.FTQDepth = opt }})
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MPKIRow
+	for ai, app := range apps {
+		row := MPKIRow{App: app, MPKI: map[string]float64{}}
+		row.MPKI["baseline"] = results[ai*stride].IcacheMPKI
+		for mi, mech := range UFTQSeries {
+			row.MPKI[string(mech)] = results[ai*stride+1+mi].IcacheMPKI
 		}
-		row.MPKI["opt"] = r.IcacheMPKI
+		row.MPKI["opt"] = results[ai*stride+stride-1].IcacheMPKI
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -330,59 +405,81 @@ var UDPSeries = []string{"udp", "udp-infinite", "eip", "icache-40k"}
 // Figure13 compares UDP, Infinite Storage, EIP-8KB and a 40K icache
 // against the FDIP-32 baseline.
 func Figure13(o Options) ([]SpeedupRow, error) {
+	results, err := o.runUDPGrid()
+	if err != nil {
+		return nil, err
+	}
+	stride := len(UDPSeries) + 1
 	var rows []SpeedupRow
-	for _, app := range o.workloads() {
-		base, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, err
-		}
+	for ai, app := range o.workloads() {
+		base := results[ai*stride]
 		row := SpeedupRow{App: app, Speedups: map[string]float64{}}
-		for _, series := range UDPSeries {
-			r, err := o.runUDPSeries(app, series)
-			if err != nil {
-				return nil, err
-			}
-			row.Speedups[series] = r.Speedup(base)
+		for si, series := range UDPSeries {
+			row.Speedups[series] = results[ai*stride+1+si].Speedup(base)
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func (o Options) runUDPSeries(app, series string) (sim.Result, error) {
+// runUDPGrid submits the full apps × (baseline + UDPSeries) grid shared
+// by Figs. 13-15; results are in grid order with stride
+// len(UDPSeries)+1 per app (baseline first).
+func (o Options) runUDPGrid() ([]sim.Result, error) {
+	var jobs []jobSpec
+	for _, app := range o.workloads() {
+		jobs = append(jobs, jobSpec{app: app, mech: sim.MechBaseline})
+		for _, series := range UDPSeries {
+			j, err := udpSeriesJob(app, series)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return o.runAll(jobs)
+}
+
+// udpSeriesJob maps a Fig. 13-15 series name to its job.
+func udpSeriesJob(app, series string) (jobSpec, error) {
 	switch series {
 	case "udp":
-		return o.run(app, sim.MechUDP, nil)
+		return jobSpec{app: app, mech: sim.MechUDP}, nil
 	case "udp-infinite":
-		return o.run(app, sim.MechUDPInfinite, nil)
+		return jobSpec{app: app, mech: sim.MechUDPInfinite}, nil
 	case "eip":
-		return o.run(app, sim.MechEIP, nil)
+		return jobSpec{app: app, mech: sim.MechEIP}, nil
 	case "icache-40k":
-		return o.run(app, sim.MechBaseline, func(c *sim.Config) {
+		return jobSpec{app: app, mech: sim.MechBaseline, mutate: func(c *sim.Config) {
 			c.ICacheBytes = 40 * 1024
-			c.ICacheWays = 10
-		})
+			c.ICacheWays = sim.AutoWays(40 * 1024)
+		}}, nil
 	default:
-		return sim.Result{}, fmt.Errorf("experiments: unknown UDP series %q", series)
+		return jobSpec{}, fmt.Errorf("experiments: unknown UDP series %q", series)
 	}
+}
+
+func (o Options) runUDPSeries(app, series string) (sim.Result, error) {
+	j, err := udpSeriesJob(app, series)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return o.run(j.app, j.mech, j.mutate)
 }
 
 // Figure14 reports icache MPKI for the baseline and the Fig. 13 series.
 func Figure14(o Options) ([]MPKIRow, error) {
+	results, err := o.runUDPGrid()
+	if err != nil {
+		return nil, err
+	}
+	stride := len(UDPSeries) + 1
 	var rows []MPKIRow
-	for _, app := range o.workloads() {
+	for ai, app := range o.workloads() {
 		row := MPKIRow{App: app, MPKI: map[string]float64{}}
-		base, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, err
-		}
-		row.MPKI["baseline"] = base.IcacheMPKI
-		for _, series := range UDPSeries {
-			r, err := o.runUDPSeries(app, series)
-			if err != nil {
-				return nil, err
-			}
-			row.MPKI[series] = r.IcacheMPKI
+		row.MPKI["baseline"] = results[ai*stride].IcacheMPKI
+		for si, series := range UDPSeries {
+			row.MPKI[series] = results[ai*stride+1+si].IcacheMPKI
 		}
 		rows = append(rows, row)
 	}
@@ -398,20 +495,17 @@ type LostRow struct {
 
 // Figure15 reports instructions lost to icache-miss fetch stalls.
 func Figure15(o Options) ([]LostRow, error) {
+	results, err := o.runUDPGrid()
+	if err != nil {
+		return nil, err
+	}
+	stride := len(UDPSeries) + 1
 	var rows []LostRow
-	for _, app := range o.workloads() {
+	for ai, app := range o.workloads() {
 		row := LostRow{App: app, Lost: map[string]float64{}}
-		base, err := o.run(app, sim.MechBaseline, nil)
-		if err != nil {
-			return nil, err
-		}
-		row.Lost["baseline"] = base.LostInstrsPKI
-		for _, series := range UDPSeries {
-			r, err := o.runUDPSeries(app, series)
-			if err != nil {
-				return nil, err
-			}
-			row.Lost[series] = r.LostInstrsPKI
+		row.Lost["baseline"] = results[ai*stride].LostInstrsPKI
+		for si, series := range UDPSeries {
+			row.Lost[series] = results[ai*stride+1+si].LostInstrsPKI
 		}
 		rows = append(rows, row)
 	}
@@ -423,19 +517,33 @@ var BTBSizes = []int{1024, 2048, 4096, 8192, 16384}
 
 // Figure16 reports UDP's speedup over the baseline at each BTB size.
 func Figure16(o Options) ([]SweepSeries, error) {
+	return o.pairedSweep(BTBSizes, func(c *sim.Config, v int) { c.BTBEntries = v })
+}
+
+// pairedSweep runs (baseline, udp) pairs across a parameter grid for
+// every app and returns UDP's speedup series in grid order.
+func (o Options) pairedSweep(grid []int, apply func(*sim.Config, int)) ([]SweepSeries, error) {
+	apps := o.workloads()
+	var jobs []jobSpec
+	for _, app := range apps {
+		for _, v := range grid {
+			v := v
+			jobs = append(jobs, jobSpec{app: app, mech: sim.MechBaseline,
+				mutate: func(c *sim.Config) { apply(c, v) }})
+			jobs = append(jobs, jobSpec{app: app, mech: sim.MechUDP,
+				mutate: func(c *sim.Config) { apply(c, v) }})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var out []SweepSeries
-	for _, app := range o.workloads() {
-		s := SweepSeries{App: app, X: BTBSizes}
-		for _, n := range BTBSizes {
-			entries := n
-			base, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.BTBEntries = entries })
-			if err != nil {
-				return nil, err
-			}
-			udp, err := o.run(app, sim.MechUDP, func(c *sim.Config) { c.BTBEntries = entries })
-			if err != nil {
-				return nil, err
-			}
+	for ai, app := range apps {
+		s := SweepSeries{App: app, X: grid}
+		for vi := range grid {
+			base := results[(ai*len(grid)+vi)*2]
+			udp := results[(ai*len(grid)+vi)*2+1]
 			s.Values = append(s.Values, udp.Speedup(base))
 		}
 		out = append(out, s)
@@ -449,24 +557,7 @@ var UDPFTQSizes = []int{16, 32, 64, 128}
 // Figure17 reports UDP's speedup over a same-depth baseline at each FTQ
 // size.
 func Figure17(o Options) ([]SweepSeries, error) {
-	var out []SweepSeries
-	for _, app := range o.workloads() {
-		s := SweepSeries{App: app, X: UDPFTQSizes}
-		for _, d := range UDPFTQSizes {
-			depth := d
-			base, err := o.run(app, sim.MechBaseline, func(c *sim.Config) { c.FTQDepth = depth })
-			if err != nil {
-				return nil, err
-			}
-			udp, err := o.run(app, sim.MechUDP, func(c *sim.Config) { c.FTQDepth = depth })
-			if err != nil {
-				return nil, err
-			}
-			s.Values = append(s.Values, udp.Speedup(base))
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return o.pairedSweep(UDPFTQSizes, func(c *sim.Config, v int) { c.FTQDepth = v })
 }
 
 // valueAt returns the series value at parameter x (0 if absent).

@@ -80,17 +80,29 @@ func TestRunCachesResults(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	o := tinyOptions()
-	calls := 0
-	o.Progress = func(string) { calls++ }
-	if _, err := o.run("mysql", "baseline", nil); err != nil {
+	// Unique instruction count → fresh cache key even when other tests
+	// in the package already simulated mysql/baseline.
+	o.Instructions = 41_234
+	var lines []string
+	o.Progress = func(s string) { lines = append(lines, s) }
+	r1, err := o.run("mysql", "baseline", nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	first := calls
-	if _, err := o.run("mysql", "baseline", nil); err != nil {
+	if len(lines) != 1 || strings.Contains(lines[0], "(cached)") {
+		t.Fatalf("first run progress: %q", lines)
+	}
+	r2, err := o.run("mysql", "baseline", nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != first {
-		t.Error("second identical run was not served from cache")
+	if r1 != r2 {
+		t.Error("cache returned a different result")
+	}
+	// Cache hits must still report progress (tagged) so -v run counts
+	// don't under-report completed work.
+	if len(lines) != 2 || !strings.Contains(lines[1], "(cached)") {
+		t.Errorf("second run should emit a '(cached)' progress line: %q", lines)
 	}
 }
 
@@ -189,8 +201,9 @@ func TestRunDescriptorAndPivot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Shrink the workload for test speed.
-	results, err := RunDescriptor(d, nil)
+	// Shrink the workload for test speed; run the grid two-wide to
+	// exercise the parallel path (row order must be unaffected).
+	results, err := RunDescriptor(d, nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,14 +31,19 @@ type Table1Row struct {
 	BaselineIPC float64
 }
 
-// Table1 builds the workload characterization table.
+// Table1 builds the workload characterization table. Each app's
+// characterization (trace window + baseline run) is an independent
+// cell, so apps run concurrently on the engine's worker pool; the row
+// order stays the input workload order.
 func Table1(o Options) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, app := range o.workloads() {
+	apps := o.workloads()
+	rows := make([]Table1Row, len(apps))
+	err := ForEach(len(apps), o.parallelism(), func(i int) error {
+		app := apps[i]
 		prof := workload.MustByName(app)
 		prog, err := sim.SharedImage(prof)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Dynamic characterization from a recorded window.
@@ -48,23 +53,23 @@ func Table1(o Options) ([]Table1Row, error) {
 			n = 100_000
 		}
 		if err := trace.RecordN(&buf, prof, 0, n); err != nil {
-			return nil, err
+			return err
 		}
 		r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := trace.Analyze(prog, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		base, err := o.run(app, sim.MechBaseline, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			App:         app,
 			StaticKB:    prog.FootprintBytes() / 1024,
 			DynamicKB:   st.FootprintBytes() / 1024,
@@ -73,7 +78,11 @@ func Table1(o Options) ([]Table1Row, error) {
 			IcacheMPKI:  base.IcacheMPKI,
 			BranchMPKI:  base.BranchMPKI,
 			BaselineIPC: base.IPC,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"sync"
 
 	"udpsim/internal/workload"
@@ -11,25 +10,50 @@ import (
 // generation is fully deterministic in the profile, so images are
 // shared process-wide across machines (the image is immutable after
 // generation; executors carry all mutable state).
+//
+// Lookups are singleflighted: concurrent requests for the same profile
+// block on the first generator instead of generating twice, and
+// requests for *different* profiles generate concurrently (the lock is
+// not held across Generate).
 var (
-	imageMu    sync.Mutex
-	imageCache = map[string]*workload.Program{}
+	imageMu       sync.Mutex
+	imageCache    = map[string]*workload.Program{}
+	imageInflight = map[string]*imageCall{}
 )
+
+type imageCall struct {
+	done chan struct{}
+	prog *workload.Program
+	err  error
+}
 
 // SharedImage returns the (cached) program image for a profile.
 func SharedImage(p workload.Profile) (*workload.Program, error) {
-	key := fmt.Sprintf("%+v", p)
+	key := ProfileKey(p)
 	imageMu.Lock()
-	defer imageMu.Unlock()
 	if prog, ok := imageCache[key]; ok {
+		imageMu.Unlock()
 		return prog, nil
 	}
-	prog, err := workload.Generate(p)
-	if err != nil {
-		return nil, err
+	if c, ok := imageInflight[key]; ok {
+		imageMu.Unlock()
+		<-c.done
+		return c.prog, c.err
 	}
-	imageCache[key] = prog
-	return prog, nil
+	c := &imageCall{done: make(chan struct{})}
+	imageInflight[key] = c
+	imageMu.Unlock()
+
+	c.prog, c.err = workload.Generate(p)
+
+	imageMu.Lock()
+	if c.err == nil {
+		imageCache[key] = c.prog
+	}
+	delete(imageInflight, key)
+	imageMu.Unlock()
+	close(c.done)
+	return c.prog, c.err
 }
 
 func workloadImage(cfg Config) (*workload.Program, error) {

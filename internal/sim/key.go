@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"udpsim/internal/workload"
+)
+
+// This file builds canonical, collision-free cache keys for the two
+// process-wide caches (the program-image cache below and the experiment
+// result cache in internal/experiments). The keys used to be
+// fmt.Sprintf("%+v", …) over whole structs, which is fragile in both
+// directions: if Config or Profile ever gain a pointer field, two
+// logically identical configurations print different addresses and
+// *split* the cache; map fields print in random order and do the same;
+// and unexported or shadowed fields can silently make distinct
+// configurations *alias*. Every field is therefore serialized
+// explicitly, and TestKeyBuildersCoverAllFields pins the field counts
+// of each struct so adding a field without extending the builder fails
+// the build's test suite.
+
+// Field counts covered by the key builders. Bump these together with
+// the corresponding builder when a struct grows a field.
+const (
+	configKeyFields  = 42
+	profileKeyFields = 28
+	tageKeyFields    = 6
+	uftqKeyFields    = 10
+	udpKeyFields     = 6
+	eipKeyFields     = 5
+)
+
+// ConfigKey returns a canonical string key for a full simulation
+// configuration: equal configurations always map to equal keys, and any
+// field difference produces a different key.
+func ConfigKey(cfg Config) string {
+	var b strings.Builder
+	b.Grow(512)
+	b.WriteString("w{")
+	writeProfileKey(&b, cfg.Workload)
+	fmt.Fprintf(&b, "}|mech=%s|salt=%d|max=%d|warm=%d",
+		cfg.Mechanism, cfg.SeedSalt, cfg.MaxInstructions, cfg.WarmupInstructions)
+	fmt.Fprintf(&b, "|ftq=%d|physmax=%d|bpc=%d|scan=%d|fw=%d|icb=%d|icw=%d|imshr=%d",
+		cfg.FTQDepth, cfg.FTQPhysMax, cfg.BlocksPerCycle, cfg.ScanPerCycle,
+		cfg.FetchWidth, cfg.ICacheBytes, cfg.ICacheWays, cfg.IMSHRs)
+	fmt.Fprintf(&b, "|tage{tb=%d,bb=%d,hl=%v,tag=%d,sc=%t,loop=%t}",
+		cfg.Tage.TableBits, cfg.Tage.BimodalBits, cfg.Tage.HistLengths,
+		cfg.Tage.TagBits, cfg.Tage.UseSC, cfg.Tage.UseLoop)
+	fmt.Fprintf(&b, "|btb=%d/%d|ind=%d|ras=%d",
+		cfg.BTBEntries, cfg.BTBWays, cfg.IndirectEntries, cfg.RASEntries)
+	fmt.Fprintf(&b, "|be{w=%d,rob=%d,rs=%d,alu=%d,lp=%d,sp=%d,lb=%d,sb=%d}",
+		cfg.Width, cfg.ROBSize, cfg.RSSize, cfg.ALUs,
+		cfg.LoadPorts, cfg.StorePorts, cfg.LoadBuffer, cfg.StoreBuffer)
+	fmt.Fprintf(&b, "|mem{l1d=%d/%d,l2=%d/%d,llc=%d/%d,lat=%d/%d/%d,dram=%d/%d,spf=%t}",
+		cfg.L1DBytes, cfg.L1DWays, cfg.L2Bytes, cfg.L2Ways, cfg.LLCBytes, cfg.LLCWays,
+		cfg.L1DLatency, cfg.L2Latency, cfg.LLCLatency,
+		cfg.DRAMLatency, cfg.DRAMBurstCycles, cfg.StreamPF)
+	fmt.Fprintf(&b, "|uftq{m=%d,aur=%g,atr=%g,win=%d,init=%d,min=%d,max=%d,step=%d,band=%g,drift=%g}",
+		cfg.UFTQ.Mode, cfg.UFTQ.AUR, cfg.UFTQ.ATR, cfg.UFTQ.Window,
+		cfg.UFTQ.InitialDepth, cfg.UFTQ.MinDepth, cfg.UFTQ.MaxDepth,
+		cfg.UFTQ.Step, cfg.UFTQ.Band, cfg.UFTQ.DriftBand)
+	fmt.Fprintf(&b, "|udp{ct=%d,sen=%d,inf=%t,ow=%d,hb=%d,dht=%t}",
+		cfg.UDP.ConfidenceThreshold, cfg.UDP.SeniorityEntries, cfg.UDP.Infinite,
+		cfg.UDP.OutcomeWindow, cfg.UDP.HiddenBranchTableBits, cfg.UDP.DisableHiddenTrigger)
+	fmt.Fprintf(&b, "|eip{s=%d,w=%d,d=%d,h=%d,lat=%d}",
+		cfg.EIP.Sets, cfg.EIP.Ways, cfg.EIP.DestsPerEntry,
+		cfg.EIP.HistoryLen, cfg.EIP.LatencyCycles)
+	fmt.Fprintf(&b, "|pdfill=%t", cfg.PredecodeBTBFill)
+	return b.String()
+}
+
+// ProfileKey returns a canonical string key for a workload profile
+// (used by the shared program-image cache).
+func ProfileKey(p workload.Profile) string {
+	var b strings.Builder
+	b.Grow(256)
+	writeProfileKey(&b, p)
+	return b.String()
+}
+
+func writeProfileKey(b *strings.Builder, p workload.Profile) {
+	fmt.Fprintf(b, "name=%s|seed=%d|funcs=%d|stmts=%d-%d|bbl=%d-%d",
+		p.Name, p.Seed, p.Funcs,
+		p.StmtsPerFunc[0], p.StmtsPerFunc[1], p.BBLInstrs[0], p.BBLInstrs[1])
+	fmt.Fprintf(b, "|wmix=%g/%g/%g/%g/%g|depth=%d|nest=%g|calldepth=%d",
+		p.WStraight, p.WDiamond, p.WLoop, p.WCall, p.WSwitch,
+		p.MaxDepth, p.NestProb, p.MaxCallDepth)
+	fmt.Fprintf(b, "|frac=%g/%g|biasp=%g|iidp=%g",
+		p.FracBiased, p.FracPeriodic, p.BiasedP, p.IIDP)
+	fmt.Fprintf(b, "|trip=%d-%d,var=%t|sw=%d-%d|disp=%d,zipf=%g,seq=%t",
+		p.LoopTrip[0], p.LoopTrip[1], p.LoopTripVariable,
+		p.SwitchTargets[0], p.SwitchTargets[1],
+		p.DispatchTargets, p.DispatchZipf, p.DispatchSequential)
+	fmt.Fprintf(b, "|load=%g|store=%g|rand=%g|region=%d|phase=%d",
+		p.LoadFrac, p.StoreFrac, p.DataRandFrac, p.DataRegionBytes, p.PhaseLen)
+}

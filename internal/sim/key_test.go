@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"udpsim/internal/bp"
+	"udpsim/internal/core"
+	"udpsim/internal/eip"
+	"udpsim/internal/workload"
+)
+
+// TestKeyBuildersCoverAllFields pins the field count of every struct
+// serialized by the canonical key builders: growing Config/Profile (or
+// a nested mechanism config) without extending ConfigKey/ProfileKey
+// would reintroduce the silent-alias bug this replaced, so the count
+// mismatch fails loudly here instead.
+func TestKeyBuildersCoverAllFields(t *testing.T) {
+	checks := []struct {
+		name string
+		typ  reflect.Type
+		want int
+	}{
+		{"sim.Config", reflect.TypeOf(Config{}), configKeyFields},
+		{"workload.Profile", reflect.TypeOf(workload.Profile{}), profileKeyFields},
+		{"bp.TageConfig", reflect.TypeOf(bp.TageConfig{}), tageKeyFields},
+		{"core.UFTQConfig", reflect.TypeOf(core.UFTQConfig{}), uftqKeyFields},
+		{"core.UDPConfig", reflect.TypeOf(core.UDPConfig{}), udpKeyFields},
+		{"eip.Config", reflect.TypeOf(eip.Config{}), eipKeyFields},
+	}
+	for _, c := range checks {
+		if got := c.typ.NumField(); got != c.want {
+			t.Errorf("%s has %d fields but the key builder covers %d — extend ConfigKey/ProfileKey in key.go and bump the constant",
+				c.name, got, c.want)
+		}
+	}
+}
+
+// TestConfigKeyNeverAliases asserts that distinct configurations map to
+// distinct keys and identical configurations always map to the same key
+// (the cache-hit direction).
+func TestConfigKeyNeverAliases(t *testing.T) {
+	base := NewConfig(workload.MustByName("mysql"), MechBaseline)
+
+	if ConfigKey(base) != ConfigKey(base) {
+		t.Fatal("identical configs produced different keys")
+	}
+	clone := base
+	if ConfigKey(clone) != ConfigKey(base) {
+		t.Fatal("copied config produced a different key")
+	}
+
+	mutations := map[string]func(*Config){
+		"mechanism":     func(c *Config) { c.Mechanism = MechUDP },
+		"workload":      func(c *Config) { c.Workload = workload.MustByName("xgboost") },
+		"workload-seed": func(c *Config) { c.Workload.Seed++ },
+		"seedsalt":      func(c *Config) { c.SeedSalt = 7919 },
+		"instructions":  func(c *Config) { c.MaxInstructions++ },
+		"warmup":        func(c *Config) { c.WarmupInstructions++ },
+		"ftq":           func(c *Config) { c.FTQDepth = 64 },
+		"icache-bytes":  func(c *Config) { c.ICacheBytes = 64 * 1024 },
+		"icache-ways":   func(c *Config) { c.ICacheWays = 16 },
+		"btb":           func(c *Config) { c.BTBEntries = 1024 },
+		"tage-hist":     func(c *Config) { c.Tage.HistLengths = []uint{4, 8} },
+		"tage-sc":       func(c *Config) { c.Tage.UseSC = false },
+		"backend-rob":   func(c *Config) { c.ROBSize++ },
+		"mem-dram":      func(c *Config) { c.DRAMLatency++ },
+		"mem-streampf":  func(c *Config) { c.StreamPF = false },
+		"uftq-mode":     func(c *Config) { c.UFTQ.Mode = core.UFTQAUR },
+		"uftq-aur":      func(c *Config) { c.UFTQ.AUR += 0.01 },
+		"udp-infinite":  func(c *Config) { c.UDP.Infinite = true },
+		"udp-threshold": func(c *Config) { c.UDP.ConfidenceThreshold++ },
+		"eip-sets":      func(c *Config) { c.EIP.Sets *= 2 },
+		"predecode":     func(c *Config) { c.PredecodeBTBFill = true },
+	}
+	baseKey := ConfigKey(base)
+	seen := map[string]string{baseKey: "base"}
+	for name, mutate := range mutations {
+		c := base
+		mutate(&c)
+		k := ConfigKey(c)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q aliases with %q: key %q", name, prev, k)
+			continue
+		}
+		seen[k] = name
+	}
+}
+
+// TestProfileKeyDistinct asserts all shipped workload profiles key
+// distinctly and that the key is stable for equal profiles.
+func TestProfileKeyDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, p := range workload.All() {
+		k := ProfileKey(p)
+		if k != ProfileKey(p) {
+			t.Errorf("profile %s: unstable key", p.Name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("profiles %s and %s alias: %q", p.Name, prev, k)
+		}
+		seen[k] = p.Name
+	}
+}
+
+func TestAutoWays(t *testing.T) {
+	cases := []struct{ size, want int }{
+		{16 * 1024, 8},  // power of two: Table II class
+		{32 * 1024, 8},  // default icache
+		{40 * 1024, 10}, // the paper's ISO-storage icache
+		{48 * 1024, 12},
+		{64 * 1024, 8},
+		{3 * 64, 3}, // tiny: odd part exceeds doubling room
+		{100, 0},    // not a multiple of the line size
+		{0, 0},
+		{-64, 0},
+	}
+	for _, c := range cases {
+		if got := AutoWays(c.size); got != c.want {
+			t.Errorf("AutoWays(%d) = %d, want %d", c.size, got, c.want)
+		}
+		if c.want > 0 {
+			lines := c.size / 64
+			sets := lines / c.want
+			if lines%c.want != 0 || sets&(sets-1) != 0 {
+				t.Errorf("AutoWays(%d) = %d implies invalid geometry (%d sets)", c.size, c.want, sets)
+			}
+		}
+	}
+}
+
+// TestInvalidGeometryReturnsError asserts NewMachineWithProgram rejects
+// non-power-of-two set counts with an error instead of panicking deep
+// inside the cache constructors (the old behaviour for e.g.
+// `sweep -param icache -values 49152`).
+func TestInvalidGeometryReturnsError(t *testing.T) {
+	prog, err := SharedImage(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := testConfig(MechBaseline)
+	bad.ICacheBytes = 48 * 1024 // 96 sets at 8 ways: not a power of two
+	if _, err := NewMachineWithProgram(bad, prog); err == nil {
+		t.Fatal("48 KiB icache at 8 ways accepted")
+	}
+
+	good := bad
+	good.ICacheWays = AutoWays(good.ICacheBytes)
+	if _, err := NewMachineWithProgram(good, prog); err != nil {
+		t.Fatalf("AutoWays geometry rejected: %v", err)
+	}
+
+	badL2 := testConfig(MechBaseline)
+	badL2.L2Bytes = 3 * 100_000
+	if _, err := NewMachineWithProgram(badL2, prog); err == nil {
+		t.Fatal("invalid L2 geometry accepted")
+	}
+}

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"udpsim/internal/backend"
 	"udpsim/internal/frontend"
@@ -147,22 +150,61 @@ func RunOne(cfg Config) (Result, error) {
 // RunSimpoints runs n regions (seed salts 0..n-1) over a shared program
 // image and returns the per-region results plus their aggregate.
 func RunSimpoints(cfg Config, n int) ([]Result, Result, error) {
+	return RunSimpointsParallel(cfg, n, 1)
+}
+
+// RunSimpointsParallel is RunSimpoints with up to parallelism regions
+// simulated concurrently over one shared (immutable) program image.
+// Regions are independent machines seeded per-salt, so the per-region
+// results — and therefore the aggregate — are identical at any
+// parallelism; results are returned in salt order. parallelism == 1
+// runs serially; <= 0 means GOMAXPROCS.
+func RunSimpointsParallel(cfg Config, n, parallelism int) ([]Result, Result, error) {
 	if n <= 0 {
 		n = 1
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
 	prog, err := workloadImage(cfg)
 	if err != nil {
 		return nil, Result{}, err
 	}
-	results := make([]Result, 0, n)
-	for i := 0; i < n; i++ {
+	if parallelism > n {
+		parallelism = n
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	runRegion := func(i int) {
 		c := cfg
 		c.SeedSalt = uint64(i) * 7919
 		m, err := NewMachineWithProgram(c, prog)
 		if err != nil {
-			return nil, Result{}, err
+			errs[i] = err
+			return
 		}
-		results = append(results, m.Run())
+		results[i] = m.Run()
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			runRegion(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, parallelism)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runRegion(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, Result{}, err
 	}
 	return results, Aggregate(results), nil
 }

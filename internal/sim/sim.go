@@ -16,6 +16,7 @@ import (
 	"udpsim/internal/core"
 	"udpsim/internal/eip"
 	"udpsim/internal/frontend"
+	"udpsim/internal/isa"
 	"udpsim/internal/memory"
 	"udpsim/internal/workload"
 )
@@ -224,6 +225,9 @@ func NewMachineWithProgram(cfg Config, prog *workload.Program) (*Machine, error)
 // custom architectural instruction source (e.g. a trace replayer); a
 // nil source runs the live executor with cfg.SeedSalt.
 func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.InstrSource) (*Machine, error) {
+	if err := validateGeometry(cfg); err != nil {
+		return nil, err
+	}
 	m := &Machine{cfg: cfg, prog: prog}
 
 	m.Dir = bp.NewTage(cfg.Tage)
@@ -337,6 +341,52 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 		StoreBuffer: cfg.StoreBuffer,
 	}, m.FE, m.Hier)
 	return m, nil
+}
+
+// validateGeometry checks every cache geometry in the configuration up
+// front and returns an error instead of letting the cache constructors
+// panic deep inside memory.New/frontend.New. Sweeps over icache (and
+// other) sizes hit this with non-power-of-two set counts: e.g. 48 KiB
+// at the default 8 ways implies 96 sets, which is not indexable.
+func validateGeometry(cfg Config) error {
+	caches := []cache.Config{
+		{Name: "L1I", SizeBytes: cfg.ICacheBytes, Ways: cfg.ICacheWays},
+		{Name: "L1D", SizeBytes: cfg.L1DBytes, Ways: cfg.L1DWays},
+		{Name: "L2", SizeBytes: cfg.L2Bytes, Ways: cfg.L2Ways},
+		{Name: "LLC", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays},
+	}
+	for _, c := range caches {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("sim: invalid %s geometry (size %d, ways %d): %w; pick ways so size/(ways*%d) is a power of two (see sim.AutoWays)",
+				c.Name, c.SizeBytes, c.Ways, err, isa.LineBytes)
+		}
+	}
+	return nil
+}
+
+// AutoWays picks an associativity for a cache of sizeBytes such that
+// the implied set count (sizeBytes / (ways * line)) is a power of two,
+// preferring the smallest valid ways ≥ 8 (the Table II icache
+// associativity class). For power-of-two sizes this returns 8; for
+// 40 KiB it returns 10, for 48 KiB it returns 12, etc. Returns 0 when
+// sizeBytes is not a positive multiple of the line size (no valid
+// geometry exists).
+func AutoWays(sizeBytes int) int {
+	if sizeBytes <= 0 || sizeBytes%isa.LineBytes != 0 {
+		return 0
+	}
+	lines := sizeBytes / isa.LineBytes
+	// ways must be odd(lines) * 2^j so that sets = lines/ways is a
+	// power of two.
+	odd := lines
+	for odd%2 == 0 {
+		odd /= 2
+	}
+	ways := odd
+	for ways < 8 && ways*2 <= lines {
+		ways *= 2
+	}
+	return ways
 }
 
 // Program returns the machine's static image.
