@@ -1,9 +1,12 @@
 // Command experiment runs a JSON experiment descriptor (the analogue of
 // the paper artifact's `./run.sh -e isca.json` workflow) and writes a
-// CSV of results plus an optional speedup table.
+// CSV of results plus an optional speedup table. Long grids can stream
+// a per-interval metrics time series and serve live pprof/expvar
+// progress counters while they run.
 //
 //	experiment -f configs/isca.json -o results.csv
 //	experiment -f configs/isca.json -speedup-base baseline
+//	experiment -f configs/isca.json -metrics-out grid.jsonl -pprof :6060
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
 )
 
 func main() {
@@ -22,52 +26,90 @@ func main() {
 		out      = flag.String("o", "", "CSV output path (default stdout)")
 		base     = flag.String("speedup-base", "", "also print per-workload speedups over this config label")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
-		verbose  = flag.Bool("v", false, "print per-run progress")
+		verbose  = flag.Bool("v", false, "print per-run progress (debug-level logs)")
+
+		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every simulated cell (.csv or .jsonl)")
+		interval   = flag.Uint64("interval", 0, "sampling interval in cycles for -metrics-out (0 with -metrics-out defaults to 10000)")
+		pprofAddr  = flag.String("pprof", "", "serve live pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	log := obs.NewLogger(os.Stderr, *verbose)
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *file == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	if *pprofAddr != "" {
+		if _, err := obs.ServeDebug(*pprofAddr, log); err != nil {
+			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
+		}
+	}
+
 	f, err := os.Open(*file)
 	if err != nil {
-		fatal(err)
+		fatal("descriptor open failed", "err", err)
 	}
 	d, err := experiments.ParseDescriptor(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fatal("descriptor parse failed", "err", err)
+	}
+
+	if *metricsOut != "" && *interval == 0 {
+		*interval = 10_000
+	}
+	var obsOpts experiments.Options
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics-out create failed", "err", err)
+		}
+		defer mf.Close()
+		obsOpts.Metrics = obs.NewMetricsWriter(mf, obs.FormatForPath(*metricsOut))
+		obsOpts.Interval = *interval
 	}
 
 	var progress func(string)
 	if *verbose {
-		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		progress = func(s string) { log.Debug("cell done", "cell", s) }
 	}
-	fmt.Fprintf(os.Stderr, "experiment %q: %d workloads × %d configs × %d simpoints\n",
-		d.Name, len(d.Workloads), len(d.Configs), d.Simpoints)
-	results, err := experiments.RunDescriptor(d, progress, *parallel)
+	log.Info("experiment starting", "name", d.Name,
+		"workloads", len(d.Workloads), "configs", len(d.Configs), "simpoints", d.Simpoints)
+	results, err := experiments.RunDescriptorObserved(d, progress, *parallel, obsOpts)
 	if err != nil {
-		fatal(err)
+		fatal("experiment failed", "err", err)
+	}
+
+	if obsOpts.Metrics != nil {
+		if err := obsOpts.Metrics.Err(); err != nil {
+			fatal("metrics write failed", "err", err)
+		}
+		log.Info("metrics written", "path", *metricsOut, "rows", obsOpts.Metrics.Rows())
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fatal("output create failed", "err", err)
 		}
 		defer of.Close()
 		w = of
 	}
 	if err := experiments.WriteCSV(w, results); err != nil {
-		fatal(err)
+		fatal("CSV write failed", "err", err)
 	}
 
 	if *base != "" {
 		rows, err := experiments.SpeedupTable(results, *base)
 		if err != nil {
-			fatal(err)
+			fatal("speedup table failed", "err", err)
 		}
 		names := experiments.SortedSeriesNames(rows)
 		tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
@@ -81,9 +123,4 @@ func main() {
 		}
 		tw.Flush()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
-	os.Exit(1)
 }

@@ -1,5 +1,8 @@
 // Command figures regenerates the paper's evaluation tables and
-// figures, printing the same rows/series the paper plots.
+// figures, printing the same rows/series the paper plots. Beyond the
+// paper set it renders a cycle-resolved timeline figure from the
+// observability layer's interval sampler, and long regenerations can
+// stream a metrics time series and serve live pprof/expvar progress.
 //
 // Examples:
 //
@@ -8,6 +11,8 @@
 //	figures -table 3             # optimal FTQ / utility / timeliness
 //	figures -fig 3 -quick        # fast, low-fidelity smoke run
 //	figures -fig 16 -workloads xgboost,mysql
+//	figures -timeline mysql -svg out/   # IPC + FTQ depth over time
+//	figures -all -metrics-out all.jsonl -pprof :6060
 package main
 
 import (
@@ -20,16 +25,23 @@ import (
 	"text/tabwriter"
 
 	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
 	"udpsim/internal/plot"
 	"udpsim/internal/sim"
 	"udpsim/internal/workload"
 )
+
+// logger is the process-wide structured logger (re-created in main once
+// the -v flag is parsed).
+var logger = obs.NewLogger(os.Stderr, false)
 
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "figure number to regenerate (1, 3, 4, 5, 6, 8, 11-17)")
 		table     = flag.Int("table", 0, "table number to regenerate (1, 2, 3)")
 		all       = flag.Bool("all", false, "regenerate everything")
+		timeline  = flag.String("timeline", "", "render the interval-sampler timeline figure for this workload (IPC and FTQ depth over time)")
+		tlMechs   = flag.String("timeline-mechs", "baseline,udp", "comma-separated mechanisms for -timeline")
 		quick     = flag.Bool("quick", false, "low-fidelity fast run")
 		instrs    = flag.Uint64("instrs", 0, "override instructions per region")
 		warmup    = flag.Uint64("warmup", 0, "override warmup instructions")
@@ -37,9 +49,25 @@ func main() {
 		apps      = flag.String("workloads", "", "comma-separated workload subset")
 		svgDir    = flag.String("svg", "", "also write FigureNN.svg files into this directory")
 		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical at any -j")
-		verbose   = flag.Bool("v", false, "print per-run progress")
+		verbose   = flag.Bool("v", false, "print per-run progress (debug-level logs)")
+
+		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every simulated cell (.csv or .jsonl)")
+		interval   = flag.Uint64("interval", 0, "sampling interval in cycles for -metrics-out/-timeline (0 defaults to 10000)")
+		pprofAddr  = flag.String("pprof", "", "serve live pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	logger = obs.NewLogger(os.Stderr, *verbose)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		if _, err := obs.ServeDebug(*pprofAddr, logger); err != nil {
+			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
+		}
+	}
 
 	o := experiments.DefaultOptions()
 	if *quick {
@@ -59,7 +87,20 @@ func main() {
 	}
 	o.Parallelism = *parallel
 	if *verbose {
-		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		o.Progress = func(s string) { logger.Debug("run done", "run", s) }
+	}
+
+	if *metricsOut != "" && *interval == 0 {
+		*interval = 10_000
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics-out create failed", "err", err)
+		}
+		defer mf.Close()
+		o.Metrics = obs.NewMetricsWriter(mf, obs.FormatForPath(*metricsOut))
+		o.Interval = *interval
 	}
 
 	var figs []int
@@ -72,6 +113,8 @@ func main() {
 		figs = []int{*fig}
 	case *table != 0:
 		tables = []int{*table}
+	case *timeline != "":
+		// Timeline-only invocation; handled below.
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -79,29 +122,141 @@ func main() {
 
 	for _, t := range tables {
 		if err := renderTable(t, o); err != nil {
-			fatal(err)
+			fatal("table failed", "table", t, "err", err)
 		}
 	}
 	for _, f := range figs {
 		if err := renderFigure(f, o, *svgDir); err != nil {
-			fatal(err)
+			fatal("figure failed", "fig", f, "err", err)
 		}
+	}
+	if *timeline != "" {
+		if err := renderTimeline(*timeline, strings.Split(*tlMechs, ","), o, *interval, *svgDir); err != nil {
+			fatal("timeline failed", "workload", *timeline, "err", err)
+		}
+	}
+
+	if o.Metrics != nil {
+		if err := o.Metrics.Err(); err != nil {
+			fatal("metrics write failed", "err", err)
+		}
+		logger.Info("metrics written", "path", *metricsOut, "rows", o.Metrics.Rows())
 	}
 }
 
 // saveSVG writes one rendered figure file.
 func saveSVG(dir string, n int, svg string) error {
+	return saveNamedSVG(dir, fmt.Sprintf("Figure%02d.svg", n), svg)
+}
+
+// saveNamedSVG writes one rendered figure file under an explicit name.
+func saveNamedSVG(dir, name, svg string) error {
 	if dir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("Figure%02d.svg", n))
+	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	logger.Info("figure written", "path", path)
+	return nil
+}
+
+// renderTimeline runs one region per mechanism with the interval
+// sampler attached and renders cycle-resolved IPC and FTQ-depth line
+// charts — the observability layer's view of how UFTQ window decisions
+// and UDP learning play out over a run, which the paper's end-of-run
+// aggregates average away.
+func renderTimeline(app string, mechs []string, o experiments.Options, interval uint64, svgDir string) error {
+	if interval == 0 {
+		interval = 10_000
+	}
+	prof, ok := workload.ByName(app)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", app)
+	}
+	type mechSeries struct {
+		mech    string
+		samples []obs.IntervalSample
+	}
+	var all []mechSeries
+	for _, mech := range mechs {
+		mech = strings.TrimSpace(mech)
+		cfg := sim.NewConfig(prof, sim.Mechanism(mech))
+		cfg.MaxInstructions = o.Instructions
+		cfg.WarmupInstructions = o.Warmup
+		var obsv *obs.Observer
+		attach := func(region int, m *sim.Machine) {
+			if region == 0 { // one sampled region per mechanism
+				obsv = &obs.Observer{Interval: interval}
+				m.AttachObserver(obsv)
+			}
+		}
+		if _, _, err := sim.RunSimpointsObserved(cfg, 1, 1, attach); err != nil {
+			return fmt.Errorf("timeline %s/%s: %w", app, mech, err)
+		}
+		logger.Debug("timeline region done", "mechanism", mech, "samples", len(obsv.Samples()))
+		all = append(all, mechSeries{mech: mech, samples: obsv.Samples()})
+	}
+
+	// Align series on the shortest run so every chart column has a
+	// value for every mechanism (plot.Lines requires equal lengths).
+	n := len(all[0].samples)
+	for _, s := range all {
+		n = min(n, len(s.samples))
+	}
+	if n == 0 {
+		return fmt.Errorf("timeline %s: no interval samples (instrs too small for interval %d?)", app, interval)
+	}
+	ipc := plot.Chart{Title: fmt.Sprintf("Timeline — %s IPC per %d-cycle interval", app, interval), YLabel: "IPC"}
+	ftq := plot.Chart{Title: fmt.Sprintf("Timeline — %s FTQ depth per %d-cycle interval", app, interval), YLabel: "FTQ depth"}
+	for i := 0; i < n; i++ {
+		lbl := fmt.Sprintf("%dk", all[0].samples[i].Cycle/1000)
+		ipc.XLabels = append(ipc.XLabels, lbl)
+		ftq.XLabels = append(ftq.XLabels, lbl)
+	}
+	for _, s := range all {
+		iv := make([]float64, n)
+		fv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			iv[i] = s.samples[i].IPC
+			fv[i] = float64(s.samples[i].FTQDepth)
+		}
+		ipc.Series = append(ipc.Series, plot.Series{Name: s.mech, Values: iv})
+		ftq.Series = append(ftq.Series, plot.Series{Name: s.mech, Values: fv})
+	}
+
+	fmt.Printf("Timeline — %s, %d-cycle intervals (%d samples)\n", app, interval, n)
+	tw := newTW()
+	fmt.Fprintf(tw, "cycle")
+	for _, s := range all {
+		fmt.Fprintf(tw, "\t%s IPC\t%s FTQ", s.mech, s.mech)
+	}
+	fmt.Fprintln(tw)
+	step := max(1, n/20) // cap the printed table at ~20 rows
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(tw, "%d", all[0].samples[i].Cycle)
+		for _, s := range all {
+			fmt.Fprintf(tw, "\t%.3f\t%d", s.samples[i].IPC, s.samples[i].FTQDepth)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println()
+
+	if svg, err := plot.Lines(ipc); err == nil {
+		if err := saveNamedSVG(svgDir, fmt.Sprintf("Timeline-%s-ipc.svg", app), svg); err != nil {
+			return err
+		}
+	}
+	if svg, err := plot.Lines(ftq); err == nil {
+		if err := saveNamedSVG(svgDir, fmt.Sprintf("Timeline-%s-ftq.svg", app), svg); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -156,11 +311,6 @@ func lostChart(title string, rows []experiments.LostRow) plot.Chart {
 	c.Percent = false
 	c.YLabel = "instructions lost per kilo-instruction"
 	return c
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-	os.Exit(1)
 }
 
 func renderTable(n int, o experiments.Options) error {

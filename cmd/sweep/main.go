@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
 	"udpsim/internal/sim"
 	"udpsim/internal/workload"
 )
@@ -30,25 +31,52 @@ func main() {
 		instrs   = flag.Uint64("instrs", 500_000, "instructions per run")
 		warmup   = flag.Uint64("warmup", 500_000, "warmup instructions")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
+		verbose  = flag.Bool("v", false, "debug-level progress logs")
+
+		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every swept run (.csv or .jsonl)")
+		interval   = flag.Uint64("interval", 0, "sampling interval in cycles for -metrics-out (0 with -metrics-out defaults to 10000)")
+		pprofAddr  = flag.String("pprof", "", "serve live pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	log := obs.NewLogger(os.Stderr, *verbose)
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		if _, err := obs.ServeDebug(*pprofAddr, log); err != nil {
+			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
+		}
+	}
+
 	prof, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *name)
-		os.Exit(1)
+		fatal("unknown workload", "workload", *name)
 	}
 
 	grid, err := parseGrid(*param, *values)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		fatal("bad sweep grid", "err", err)
 	}
 
 	prog, err := sim.SharedImage(prof)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		fatal("workload image failed", "err", err)
+	}
+
+	if *metricsOut != "" && *interval == 0 {
+		*interval = 10_000
+	}
+	var metrics *obs.MetricsWriter
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics-out create failed", "err", err)
+		}
+		defer f.Close()
+		metrics = obs.NewMetricsWriter(f, obs.FormatForPath(*metricsOut))
 	}
 
 	// Run the whole grid on a bounded worker pool; results land in
@@ -63,12 +91,29 @@ func main() {
 		if err != nil {
 			return fmt.Errorf("value %d: %w", grid[i], err)
 		}
+		if metrics != nil {
+			// One observer per machine; the metrics writer serializes
+			// the concurrently swept runs. The swept value is stamped
+			// into the salt column so rows stay attributable.
+			o := &obs.Observer{
+				Interval: *interval,
+				OnSample: func(s obs.IntervalSample) { _ = metrics.Write(s) },
+			}
+			m.AttachObserver(o)
+			o.Salt = uint64(grid[i])
+		}
 		results[i] = m.Run()
+		log.Debug("sweep cell done", "param", *param, "value", grid[i], "ipc", results[i].IPC)
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		fatal("sweep failed", "err", err)
+	}
+	if metrics != nil {
+		if err := metrics.Err(); err != nil {
+			fatal("metrics write failed", "err", err)
+		}
+		log.Info("metrics written", "path", *metricsOut, "rows", metrics.Rows())
 	}
 
 	fmt.Printf("# workload=%s mechanism=%s param=%s\n", *name, *mech, *param)

@@ -1,12 +1,15 @@
 // Command udpsim runs a single simulation: one workload, one mechanism,
 // one configuration. It prints the metrics the paper's figures are
-// built from.
+// built from, and can stream the run's cycle-level observability: a
+// Chrome trace-event JSON (Perfetto-loadable), a per-interval metrics
+// time series (CSV/JSONL), and a live pprof/expvar endpoint.
 //
 // Examples:
 //
 //	udpsim -workload xgboost -mechanism udp
 //	udpsim -workload verilator -mechanism baseline -ftq 84 -instrs 5000000
 //	udpsim -workload clang -mechanism perfect-icache -simpoints 3
+//	udpsim -workload mysql -trace-out t.json -metrics-out m.csv -interval 10000
 //	udpsim -list
 package main
 
@@ -14,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"text/tabwriter"
 
+	"udpsim/internal/obs"
 	"udpsim/internal/sim"
 	"udpsim/internal/workload"
 )
@@ -35,9 +40,28 @@ func main() {
 		udpThresh = flag.Int("udp-threshold", 0, "override UDP confidence threshold")
 		udpHidden = flag.Bool("udp-hidden", true, "enable UDP hidden-taken-branch trigger")
 		btbFill   = flag.Bool("btb-fill", false, "enable predecode BTB fill from prefetched lines (Boomerang-style)")
-		verbose   = flag.Bool("v", false, "dump detailed statistics")
+		verbose   = flag.Bool("v", false, "dump detailed statistics (and debug-level logs)")
+
+		// Observability.
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured region (load in Perfetto)")
+		traceCap   = flag.Int("trace-cap", 0, "event ring capacity per region (0 = default 1Mi events)")
+		metricsOut = flag.String("metrics-out", "", "write a per-interval metrics time series (.csv, or .jsonl/.json for JSON lines)")
+		interval   = flag.Uint64("interval", 0, "sampling interval in cycles for -metrics-out (0 with -metrics-out defaults to 10000)")
+		pprofAddr  = flag.String("pprof", "", "serve live pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	log := obs.NewLogger(os.Stderr, *verbose)
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		if _, err := obs.ServeDebug(*pprofAddr, log); err != nil {
+			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
+		}
+	}
 
 	if *list {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -45,8 +69,7 @@ func main() {
 		for _, p := range workload.All() {
 			prog, err := sim.SharedImage(p)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "udpsim: %v\n", err)
-				os.Exit(1)
+				fatal("workload image failed", "workload", p.Name, "err", err)
 			}
 			fmt.Fprintf(tw, "%s\t%d\t%d KiB\t%s\n", p.Name, p.Funcs,
 				prog.FootprintBytes()/1024, character(p))
@@ -57,8 +80,7 @@ func main() {
 
 	prof, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "udpsim: unknown workload %q (use -list)\n", *name)
-		os.Exit(1)
+		fatal("unknown workload (use -list)", "workload", *name)
 	}
 
 	cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
@@ -79,10 +101,83 @@ func main() {
 	}
 	cfg.PredecodeBTBFill = *btbFill
 
-	results, agg, err := sim.RunSimpointsParallel(cfg, *simpoints, *parallel)
+	// Observability wiring: one observer per region (observers are
+	// single-machine), fanned into shared sinks.
+	if *metricsOut != "" && *interval == 0 {
+		*interval = 10_000
+		log.Debug("defaulting -interval", "cycles", *interval)
+	}
+	var metrics *obs.MetricsWriter
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics-out create failed", "err", err)
+		}
+		defer f.Close()
+		metrics = obs.NewMetricsWriter(f, obs.FormatForPath(*metricsOut))
+	}
+	observing := *traceOut != "" || metrics != nil || *interval > 0
+	var (
+		obsMu     sync.Mutex
+		observers = map[int]*obs.Observer{}
+		attach    func(int, *sim.Machine)
+	)
+	if observing {
+		attach = func(region int, m *sim.Machine) {
+			o := &obs.Observer{Life: obs.NewLifecycle(), Interval: *interval}
+			if *traceOut != "" {
+				o.Trace = obs.NewTracer(*traceCap)
+			}
+			if metrics != nil {
+				o.OnSample = func(s obs.IntervalSample) { _ = metrics.Write(s) }
+			}
+			m.AttachObserver(o)
+			obsMu.Lock()
+			observers[region] = o
+			obsMu.Unlock()
+		}
+	}
+
+	log.Debug("simulation starting", "workload", *name, "mechanism", *mech,
+		"simpoints", *simpoints, "instrs", *instrs)
+	results, agg, err := sim.RunSimpointsObserved(cfg, *simpoints, *parallel, attach)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "udpsim: %v\n", err)
-		os.Exit(1)
+		fatal("simulation failed", "err", err)
+	}
+
+	if metrics != nil {
+		if err := metrics.Err(); err != nil {
+			fatal("metrics write failed", "err", err)
+		}
+		log.Info("metrics written", "path", *metricsOut, "rows", metrics.Rows())
+	}
+	if *traceOut != "" {
+		var regions []obs.TraceRegion
+		var events int
+		var dropped uint64
+		for i := 0; i < len(results); i++ {
+			o := observers[i]
+			if o == nil || o.Trace == nil {
+				continue
+			}
+			regions = append(regions, obs.TraceRegion{
+				Workload: agg.Workload, Mechanism: string(agg.Mechanism),
+				Region: i, Events: o.Trace.Events(),
+			})
+			events += o.Trace.Len()
+			dropped += o.Trace.Dropped()
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace-out create failed", "err", err)
+		}
+		if err := obs.WriteChromeTrace(f, regions); err != nil {
+			fatal("trace write failed", "err", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace close failed", "err", err)
+		}
+		log.Info("trace written", "path", *traceOut, "events", events, "overwritten", dropped)
 	}
 
 	if *verbose {
@@ -104,6 +199,9 @@ func main() {
 	fmt.Printf("prefetches    %d emitted (%d on-path, %d off-path, %d dropped)\n",
 		agg.PrefetchesEmitted, agg.PrefetchesOnPath, agg.PrefetchesOffPath, agg.PrefetchesDropped)
 	fmt.Printf("lost instrs   %.1f per kilo-instruction\n", agg.LostInstrsPKI)
+	if agg.Lifecycle.Tracked {
+		fmt.Printf("lifecycle     %s\n", agg.Lifecycle)
+	}
 	if agg.UDPStorage > 0 {
 		fmt.Printf("UDP storage   %d bytes\n", agg.UDPStorage)
 	}

@@ -6,6 +6,7 @@ import (
 	"udpsim/internal/bp"
 	"udpsim/internal/frontend"
 	"udpsim/internal/isa"
+	"udpsim/internal/obs"
 )
 
 // UDPConfig parameterizes the utility-driven prefetch filter.
@@ -87,6 +88,10 @@ type UDP struct {
 	CandidatesEmitted  uint64
 	HiddenBranchHits   uint64
 	Resteers           uint64
+
+	// Obs receives udp-learn/udp-drop events when non-nil (nil-guarded
+	// observability hooks).
+	Obs *obs.Observer
 }
 
 // NewUDP builds the mechanism.
@@ -208,6 +213,9 @@ func (u *UDP) FilterCandidate(line isa.Addr) int {
 	n := u.useful.Lookup(line)
 	if n == 0 {
 		u.CandidatesDropped++
+		if u.Obs != nil {
+			u.Obs.UDPDrop(uint64(line))
+		}
 		return 0
 	}
 	u.CandidatesEmitted++
@@ -221,6 +229,9 @@ func (u *UDP) FilterCandidate(line isa.Addr) int {
 func (u *UDP) OnRetire(line isa.Addr) {
 	if u.sen.Match(line) {
 		u.useful.Learn(line)
+		if u.Obs != nil {
+			u.Obs.UDPLearn(uint64(line))
+		}
 	}
 }
 
@@ -229,6 +240,9 @@ func (u *UDP) OnRetire(line isa.Addr) {
 func (u *UDP) OnPrefetchUseful(line isa.Addr, offPath bool) {
 	if offPath {
 		u.useful.Learn(line)
+		if u.Obs != nil {
+			u.Obs.UDPLearn(uint64(line))
+		}
 	}
 	u.recordOutcome(false)
 }

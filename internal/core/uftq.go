@@ -20,6 +20,7 @@ import (
 	"udpsim/internal/bp"
 	"udpsim/internal/frontend"
 	"udpsim/internal/isa"
+	"udpsim/internal/obs"
 )
 
 // UFTQMode selects which ratio(s) drive the FTQ sizing.
@@ -130,6 +131,10 @@ type UFTQ struct {
 	Windows     uint64
 	Adjustments uint64
 	Researches  uint64
+
+	// Obs receives uftq-window events when non-nil (nil-guarded
+	// observability hooks).
+	Obs *obs.Observer
 }
 
 // NewUFTQ builds the controller.
@@ -205,6 +210,9 @@ func (u *UFTQ) maybeEndWindow() {
 	ur := ratio(u.useful, u.useless)
 	tr := ratio(u.icHits, u.fbHits)
 	u.useful, u.useless, u.icHits, u.fbHits = 0, 0, 0, 0
+	if u.Obs != nil {
+		u.Obs.UFTQWindow(u.depth, ur, tr)
+	}
 
 	switch u.cfg.Mode {
 	case UFTQAUR:

@@ -121,6 +121,15 @@ type DescriptorResult struct {
 // order regardless of parallelism, and errors across the grid are
 // aggregated.
 func RunDescriptor(d *Descriptor, progress func(string), parallelism int) ([]DescriptorResult, error) {
+	return RunDescriptorObserved(d, progress, parallelism, Options{})
+}
+
+// RunDescriptorObserved is RunDescriptor with the observability knobs
+// of obsOpts (Interval, Metrics) applied to every simulated cell: each
+// region streams interval samples into obsOpts.Metrics. Other obsOpts
+// fields are ignored. A zero obsOpts degrades to the plain runner.
+func RunDescriptorObserved(d *Descriptor, progress func(string), parallelism int, obsOpts Options) ([]DescriptorResult, error) {
+	attach := obsOpts.attach()
 	type cell struct {
 		workload string
 		spec     ConfigSpec
@@ -155,7 +164,7 @@ func RunDescriptor(d *Descriptor, progress func(string), parallelism int) ([]Des
 		if c.spec.ICacheWays > 0 {
 			cfg.ICacheWays = c.spec.ICacheWays
 		}
-		_, agg, err := sim.RunSimpoints(cfg, d.Simpoints)
+		_, agg, err := sim.RunSimpointsObserved(cfg, d.Simpoints, 1, attach)
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", c.workload, c.spec.Label, err)
 		}

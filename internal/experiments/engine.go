@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"udpsim/internal/obs"
 	"udpsim/internal/sim"
 )
 
@@ -63,9 +64,12 @@ func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	workers := o.parallelism()
+	// Live grid-cell progress for the expvar endpoint (/debug/vars).
+	obs.JobsTotal.Add(int64(len(jobs)))
 	if workers <= 1 || len(jobs) <= 1 {
 		for i, j := range jobs {
 			results[i], errs[i] = o.run(j.app, j.mech, j.mutate)
+			obs.JobsDone.Add(1)
 		}
 		return results, errors.Join(errs...)
 	}
@@ -78,6 +82,7 @@ func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			results[i], errs[i] = o.run(j.app, j.mech, j.mutate)
+			obs.JobsDone.Add(1)
 		}(i, j)
 	}
 	wg.Wait()

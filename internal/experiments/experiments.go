@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"udpsim/internal/obs"
 	"udpsim/internal/sim"
 	"udpsim/internal/workload"
 )
@@ -38,6 +39,17 @@ type Options struct {
 	// Invocations are serialized, but under parallelism the lines
 	// arrive in completion order, not grid order.
 	Progress func(string)
+
+	// Interval, when non-zero together with Metrics, enables per-
+	// interval time-series sampling (cycles per sample) for every
+	// simulated region. Sampling does not change the simulated machine
+	// or the result-cache key, so cached cells simply emit no samples —
+	// samples come only from the cells actually simulated in this
+	// process.
+	Interval uint64
+	// Metrics receives streamed interval samples when non-nil
+	// (obs.MetricsWriter serializes concurrent regions).
+	Metrics *obs.MetricsWriter
 }
 
 // DefaultOptions returns the evaluation configuration used by
@@ -81,6 +93,23 @@ func (o Options) progress(format string, args ...any) {
 	}
 }
 
+// attach returns the per-region observer attach callback implementing
+// Options.Interval/Metrics streaming, or nil when sampling is disabled
+// (the plain, zero-overhead path).
+func (o Options) attach() func(int, *sim.Machine) {
+	if o.Interval == 0 || o.Metrics == nil {
+		return nil
+	}
+	w := o.Metrics
+	iv := o.Interval
+	return func(region int, m *sim.Machine) {
+		m.AttachObserver(&obs.Observer{
+			Interval: iv,
+			OnSample: func(s obs.IntervalSample) { _ = w.Write(s) },
+		})
+	}
+}
+
 // run executes one configuration over the option's simpoints, memoized
 // process-wide and singleflighted: concurrent callers with the same
 // canonical config key block on the first runner instead of simulating
@@ -98,6 +127,7 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	resultMu.Lock()
 	if cached, ok := resultCache[key]; ok {
 		resultMu.Unlock()
+		obs.CacheHits.Add(1)
 		o.progress("%s/%s ftq=%d: IPC %.4f (cached)", name, mech, cached.FinalFTQDepth, cached.IPC)
 		return cached, nil
 	}
@@ -106,6 +136,7 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 		// it. The runner necessarily holds a worker slot already, so
 		// waiting here cannot deadlock the pool.
 		resultMu.Unlock()
+		obs.CacheInflightWaits.Add(1)
 		<-call.done
 		if call.err != nil {
 			return sim.Result{}, call.err
@@ -116,8 +147,9 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	call := &resultCall{done: make(chan struct{})}
 	resultInflight[key] = call
 	resultMu.Unlock()
+	obs.CacheMisses.Add(1)
 
-	_, agg, err := sim.RunSimpoints(cfg, o.Simpoints)
+	_, agg, err := sim.RunSimpointsObserved(cfg, o.Simpoints, 1, o.attach())
 
 	resultMu.Lock()
 	if err == nil {

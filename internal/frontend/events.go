@@ -50,6 +50,9 @@ func (f *Frontend) OnDecode(fi *FrontInstr, cycle uint64) bool {
 
 	// Resteer: flush everything younger than fi and redirect fetch.
 	f.Stats.PostFetchResteers++
+	if f.Obs != nil {
+		f.Obs.Resteer()
+	}
 	f.flushYoungerThan(fi.FetchSeq)
 
 	// Speculative state: rewind to the branch's build-time snapshot and
@@ -125,6 +128,9 @@ func (f *Frontend) Recover(fi *FrontInstr, cycle uint64) {
 	f.Stats.Recoveries++
 	if cycle >= div.BornCycle {
 		f.ResolutionLatency.Observe(cycle - div.BornCycle)
+		if f.Obs != nil {
+			f.Obs.Recovery(cycle - div.BornCycle)
+		}
 	}
 	f.flushYoungerThan(fi.FetchSeq)
 

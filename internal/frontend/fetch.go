@@ -12,11 +12,17 @@ func (f *Frontend) completeFills(cycle uint64) {
 		// A prefetch-initiated fill whose demand merged keeps its
 		// prefetch provenance cleared: the line was already consumed.
 		isPrefetch := m.Prefetch && !m.DemandMerged
+		if f.Obs != nil && m.Prefetch {
+			f.Obs.PrefetchArrived(uint64(m.LineAddr), m.IssueCycle, m.OffPath, m.DemandMerged)
+		}
 		ev := f.icache.InsertPath(m.LineAddr, cycle, isPrefetch, m.OffPath)
 		if ev.Valid && ev.WasUnusedPrefetch {
 			f.Stats.PrefetchUseless++
 			if ev.WasOffPath {
 				f.Stats.PrefetchUselessOff++
+			}
+			if f.Obs != nil {
+				f.Obs.PrefetchEvicted(uint64(ev.LineAddr), ev.WasOffPath)
 			}
 			f.tuner.OnPrefetchUseless(ev.LineAddr, ev.WasOffPath)
 		}
@@ -112,6 +118,9 @@ func (f *Frontend) emitPrefetch(line isa.Addr, offPath bool, cycle uint64) {
 	} else {
 		f.Stats.PrefetchesOnPath++
 	}
+	if f.Obs != nil {
+		f.Obs.PrefetchEmitted(uint64(line), offPath)
+	}
 }
 
 // fetchStage demands the FTQ head block from the L1I and streams its
@@ -190,6 +199,9 @@ func (f *Frontend) accessBlockLine(fb *FetchBlock, cycle uint64) bool {
 			if res.WasOffPathPrefetch {
 				f.Stats.PrefetchUsefulOff++
 			}
+			if f.Obs != nil {
+				f.Obs.PrefetchHit(uint64(line), 0, false)
+			}
 			f.tuner.OnPrefetchUseful(line, res.WasOffPathPrefetch)
 		}
 		f.notifyExternal(line, true, cycle)
@@ -211,6 +223,9 @@ func (f *Frontend) accessBlockLine(fb *FetchBlock, cycle uint64) bool {
 			f.Stats.PrefetchUseful++
 			if m.OffPath {
 				f.Stats.PrefetchUsefulOff++
+			}
+			if f.Obs != nil {
+				f.Obs.PrefetchHit(uint64(line), f.blockReady-cycle, true)
 			}
 			f.tuner.OnPrefetchUseful(line, m.OffPath)
 		}

@@ -8,6 +8,7 @@ import (
 	"udpsim/internal/cache"
 	"udpsim/internal/isa"
 	"udpsim/internal/memory"
+	"udpsim/internal/obs"
 	"udpsim/internal/stats"
 	"udpsim/internal/workload"
 )
@@ -173,6 +174,10 @@ type Frontend struct {
 	// OccupancyHist distributes per-cycle FTQ occupancy (Fig. 8's
 	// underlying data).
 	OccupancyHist *stats.Histogram
+
+	// Obs receives cycle-level observability events when non-nil; every
+	// hook is nil-guarded so the disabled path costs one branch.
+	Obs *obs.Observer
 }
 
 // Deps bundles the structures the frontend drives.
@@ -269,6 +274,9 @@ func (f *Frontend) Cycle(cycle uint64) {
 	f.ftq.SampleOccupancy()
 	f.OccupancyHist.Observe(uint64(f.ftq.Len()))
 	if target := f.tuner.TargetFTQDepth(f.ftq.Cap()); target != f.ftq.Cap() {
+		if f.Obs != nil {
+			f.Obs.FTQResize(f.ftq.Cap(), target)
+		}
 		f.ftq.SetCap(target)
 	}
 }

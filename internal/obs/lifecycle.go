@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"fmt"
+
+	"udpsim/internal/stats"
+)
+
+// Lifecycle stamps every prefetch with its emit, fill-complete and
+// first-use cycles and accumulates three cycle-accurate distributions:
+//
+//   - EmitToFill: memory-side fill latency of prefetches (emit → data
+//     arrival), the budget FDIP's runahead must cover.
+//   - FillToUse: how long a timely prefetch sat in the icache before
+//     its first demand use (large values indicate over-eager runahead —
+//     the pollution side of the paper's utility argument).
+//   - DemandWait: cycles a demand fetch stalled on a still-in-flight
+//     prefetch (0 for timely icache hits). This is the paper's Fig. 4
+//     timeliness turned from a ratio into a lateness distribution: a
+//     prefetch is "untimely" exactly when its DemandWait is > 0.
+//
+// All histograms are power-of-two bucketed (stats.NewLog2Histogram).
+type Lifecycle struct {
+	// EmitToFill distributes emit→fill latencies (cycles).
+	EmitToFill *stats.Histogram
+	// FillToUse distributes fill→first-use distances for prefetches
+	// that completed before their demand arrived (cycles).
+	FillToUse *stats.Histogram
+	// DemandWait distributes demand stall cycles on prefetched lines
+	// (0 = timely).
+	DemandWait *stats.Histogram
+
+	// fillCycle maps a line installed by a not-yet-used prefetch to its
+	// fill-complete cycle, awaiting the first demand use.
+	fillCycle map[uint64]uint64
+
+	emitted       uint64
+	filled        uint64
+	firstUses     uint64
+	timelyUses    uint64
+	lateUses      uint64
+	evictedUnused uint64
+}
+
+// NewLifecycle builds a tracker with 20-bucket log2 histograms
+// (latencies up to ~1M cycles before overflow).
+func NewLifecycle() *Lifecycle {
+	return &Lifecycle{
+		EmitToFill: stats.NewLog2Histogram(20),
+		FillToUse:  stats.NewLog2Histogram(20),
+		DemandWait: stats.NewLog2Histogram(20),
+		fillCycle:  make(map[uint64]uint64),
+	}
+}
+
+func (l *Lifecycle) arrived(line, emitCycle, cycle uint64, merged bool) {
+	l.filled++
+	if cycle >= emitCycle {
+		l.EmitToFill.Observe(cycle - emitCycle)
+	}
+	if !merged {
+		// The line is now resident and unused; wait for its first use.
+		l.fillCycle[line] = cycle
+	}
+}
+
+func (l *Lifecycle) firstUse(line, cycle, wait uint64, fillBuf bool) {
+	l.firstUses++
+	l.DemandWait.Observe(wait)
+	if wait > 0 || fillBuf {
+		l.lateUses++
+	} else {
+		l.timelyUses++
+	}
+	if fill, ok := l.fillCycle[line]; ok {
+		if cycle >= fill {
+			l.FillToUse.Observe(cycle - fill)
+		}
+		delete(l.fillCycle, line)
+	}
+}
+
+func (l *Lifecycle) evicted(line uint64) {
+	l.evictedUnused++
+	delete(l.fillCycle, line)
+}
+
+// Reset clears all accumulated lifecycle state (end of warmup).
+func (l *Lifecycle) Reset() {
+	l.EmitToFill.Reset()
+	l.FillToUse.Reset()
+	l.DemandWait.Reset()
+	clear(l.fillCycle)
+	l.emitted, l.filled, l.firstUses = 0, 0, 0
+	l.timelyUses, l.lateUses, l.evictedUnused = 0, 0, 0
+}
+
+// Pending returns how many filled prefetches are still awaiting their
+// first demand use (resident and unused at the measurement end).
+func (l *Lifecycle) Pending() int { return len(l.fillCycle) }
+
+// Summary snapshots the tracker into the value form embedded in
+// sim.Result.
+func (l *Lifecycle) Summary() LifecycleSummary {
+	return LifecycleSummary{
+		Tracked:        true,
+		Emitted:        l.emitted,
+		Filled:         l.filled,
+		FirstUses:      l.firstUses,
+		TimelyUses:     l.timelyUses,
+		LateUses:       l.lateUses,
+		EvictedUnused:  l.evictedUnused,
+		EmitToFillMean: l.EmitToFill.Mean(),
+		EmitToFillP99:  l.EmitToFill.Percentile(0.99),
+		DemandWaitMean: l.DemandWait.Mean(),
+		DemandWaitP99:  l.DemandWait.Percentile(0.99),
+		FillToUseMean:  l.FillToUse.Mean(),
+		FillToUseP99:   l.FillToUse.Percentile(0.99),
+		EmitToFill:     l.EmitToFill,
+		FillToUse:      l.FillToUse,
+		DemandWait:     l.DemandWait,
+	}
+}
+
+// LifecycleSummary is the per-result prefetch lifecycle digest. The
+// scalar fields are always usable; the histogram pointers are the full
+// distributions (nil when lifecycle tracking was disabled) and must be
+// treated as read-only once published into a Result.
+type LifecycleSummary struct {
+	// Tracked is true when lifecycle tracking was enabled for the run.
+	Tracked bool
+
+	Emitted       uint64
+	Filled        uint64
+	FirstUses     uint64
+	TimelyUses    uint64
+	LateUses      uint64
+	EvictedUnused uint64
+
+	EmitToFillMean float64
+	EmitToFillP99  uint64
+	DemandWaitMean float64
+	DemandWaitP99  uint64
+	FillToUseMean  float64
+	FillToUseP99   uint64
+
+	EmitToFill *stats.Histogram
+	FillToUse  *stats.Histogram
+	DemandWait *stats.Histogram
+}
+
+// LateRatio returns the fraction of first uses that had to wait on an
+// in-flight fill — 1 − the paper's Fig. 4 timeliness, but restricted to
+// prefetched lines and cycle-attributable.
+func (s LifecycleSummary) LateRatio() float64 {
+	if s.FirstUses == 0 {
+		return 0
+	}
+	return float64(s.LateUses) / float64(s.FirstUses)
+}
+
+// Merge combines two summaries (simpoint aggregation): counts add,
+// means re-weight, percentiles come from merged histograms when both
+// sides carry them (falling back to the max of the two otherwise).
+// Histograms are cloned before merging so cached results stay
+// immutable.
+func (s LifecycleSummary) Merge(o LifecycleSummary) LifecycleSummary {
+	switch {
+	case !s.Tracked:
+		return o
+	case !o.Tracked:
+		return s
+	}
+	m := LifecycleSummary{
+		Tracked:       true,
+		Emitted:       s.Emitted + o.Emitted,
+		Filled:        s.Filled + o.Filled,
+		FirstUses:     s.FirstUses + o.FirstUses,
+		TimelyUses:    s.TimelyUses + o.TimelyUses,
+		LateUses:      s.LateUses + o.LateUses,
+		EvictedUnused: s.EvictedUnused + o.EvictedUnused,
+	}
+	m.EmitToFill = mergeHist(s.EmitToFill, o.EmitToFill)
+	m.FillToUse = mergeHist(s.FillToUse, o.FillToUse)
+	m.DemandWait = mergeHist(s.DemandWait, o.DemandWait)
+	if m.EmitToFill != nil {
+		m.EmitToFillMean, m.EmitToFillP99 = m.EmitToFill.Mean(), m.EmitToFill.Percentile(0.99)
+	} else {
+		m.EmitToFillMean = weightedMean(s.EmitToFillMean, s.Filled, o.EmitToFillMean, o.Filled)
+		m.EmitToFillP99 = max(s.EmitToFillP99, o.EmitToFillP99)
+	}
+	if m.DemandWait != nil {
+		m.DemandWaitMean, m.DemandWaitP99 = m.DemandWait.Mean(), m.DemandWait.Percentile(0.99)
+	} else {
+		m.DemandWaitMean = weightedMean(s.DemandWaitMean, s.FirstUses, o.DemandWaitMean, o.FirstUses)
+		m.DemandWaitP99 = max(s.DemandWaitP99, o.DemandWaitP99)
+	}
+	if m.FillToUse != nil {
+		m.FillToUseMean, m.FillToUseP99 = m.FillToUse.Mean(), m.FillToUse.Percentile(0.99)
+	} else {
+		m.FillToUseMean = weightedMean(s.FillToUseMean, s.TimelyUses, o.FillToUseMean, o.TimelyUses)
+		m.FillToUseP99 = max(s.FillToUseP99, o.FillToUseP99)
+	}
+	return m
+}
+
+// String renders a compact digest.
+func (s LifecycleSummary) String() string {
+	if !s.Tracked {
+		return "(lifecycle tracking disabled)"
+	}
+	return fmt.Sprintf("emitted %d, filled %d, used %d (%d timely, %d late, late-ratio %.2f), evicted-unused %d; emit→fill mean %.1f p99≤%d; wait mean %.1f p99≤%d",
+		s.Emitted, s.Filled, s.FirstUses, s.TimelyUses, s.LateUses, s.LateRatio(),
+		s.EvictedUnused, s.EmitToFillMean, s.EmitToFillP99, s.DemandWaitMean, s.DemandWaitP99)
+}
+
+func mergeHist(a, b *stats.Histogram) *stats.Histogram {
+	if a == nil || b == nil {
+		return nil
+	}
+	c := a.Clone()
+	if err := c.Merge(b); err != nil {
+		return nil // mismatched shapes: fall back to scalar merging
+	}
+	return c
+}
+
+func weightedMean(m1 float64, n1 uint64, m2 float64, n2 uint64) float64 {
+	if n1+n2 == 0 {
+		return 0
+	}
+	return (m1*float64(n1) + m2*float64(n2)) / float64(n1+n2)
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+)
+
+// NewLogger builds the structured progress logger shared by the cmds:
+// slog text output to w, debug level when verbose. Replaces the old
+// ad-hoc fmt.Fprintf(os.Stderr, ...) progress lines.
+func NewLogger(w io.Writer, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// ServeDebug starts the live diagnostics HTTP server on addr (e.g.
+// ":6060") in a background goroutine and returns the bound address.
+// The default mux carries /debug/pprof (CPU/heap/goroutine profiles of
+// a long sweep) and /debug/vars (expvar: the experiment engine's
+// result-cache hit rates and grid-cell progress). Returns an error
+// only if the listener cannot be opened; serving errors after startup
+// are logged and dropped.
+func ServeDebug(addr string, log *slog.Logger) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		err := http.Serve(ln, nil) // default mux: pprof + expvar
+		if log != nil {
+			log.Debug("debug server exited", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	if log != nil {
+		log.Info("debug server listening",
+			"pprof", "http://"+ln.Addr().String()+"/debug/pprof/",
+			"expvar", "http://"+ln.Addr().String()+"/debug/vars")
+	}
+	return ln.Addr().String(), nil
+}
+
+// Expvar counter handles published by the experiments engine. They
+// live here (not in internal/experiments) so the obs package owns the
+// full observability surface and the engine only increments.
+var (
+	// CacheHits counts result-cache hits (identical grid cells
+	// deduplicated across figures).
+	CacheHits = expvar.NewInt("udpsim.cache.hits")
+	// CacheMisses counts result-cache misses (actual simulations).
+	CacheMisses = expvar.NewInt("udpsim.cache.misses")
+	// CacheInflightWaits counts joins onto an in-flight identical run.
+	CacheInflightWaits = expvar.NewInt("udpsim.cache.inflight_waits")
+	// JobsTotal / JobsDone track grid-cell progress of the current
+	// experiment run.
+	JobsTotal = expvar.NewInt("udpsim.jobs.total")
+	JobsDone  = expvar.NewInt("udpsim.jobs.done")
+)

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"udpsim/internal/obs"
+)
+
+// This file wires the observability layer into the sim driver.
+// Observability is attached *after* machine construction (AttachObserver)
+// rather than through Config, keeping Config — and therefore ConfigKey
+// and the experiment result cache — unchanged: an observed run simulates
+// the exact same machine as an unobserved one.
+
+// AttachObserver connects an observer to the machine and threads it
+// through the frontend and the active mechanism. Passing nil detaches.
+// The observer is stamped with the machine's run tags. An observer must
+// not be shared between concurrently running machines; fan-in happens
+// at the sink layer (obs.MetricsWriter serializes writers).
+func (m *Machine) AttachObserver(o *obs.Observer) {
+	m.obs = o
+	m.FE.Obs = o
+	if m.UDP != nil {
+		m.UDP.Obs = o
+	}
+	if m.UFTQ != nil {
+		m.UFTQ.Obs = o
+	}
+	if o == nil {
+		return
+	}
+	o.Workload = m.cfg.Workload.Name
+	o.Mechanism = string(m.cfg.Mechanism)
+	o.Salt = m.cfg.SeedSalt
+	o.SetNow(m.cycle)
+	m.obsRearm()
+}
+
+// Observer returns the attached observer (nil when observability is
+// disabled).
+func (m *Machine) Observer() *obs.Observer { return m.obs }
+
+// obsRearm re-baselines the interval sampler's deltas against the
+// machine's current counters (attach time and end of warmup).
+func (m *Machine) obsRearm() {
+	m.obsLastCycle = m.cycle
+	m.obsLastRetired = m.BE.Stats.Retired
+	m.obsLastMisses = m.FE.ICache().Stats.Misses
+	m.obsLastEmitted = m.FE.Stats.PrefetchesEmitted
+	m.obsLastUseful = m.FE.Stats.PrefetchUseful
+	m.obsLastUseless = m.FE.Stats.PrefetchUseless
+}
+
+// obsTick runs once per cycle when an observer is attached: it advances
+// the observer's cycle clock and closes interval samples.
+func (m *Machine) obsTick() {
+	m.obs.SetNow(m.cycle)
+	if m.obs.Interval == 0 {
+		return
+	}
+	if m.cycle-m.obsLastCycle >= m.obs.Interval {
+		m.obsSample()
+	}
+}
+
+// obsSample closes the current interval and emits one sample.
+func (m *Machine) obsSample() {
+	cycles := m.cycle - m.obsLastCycle
+	if cycles == 0 {
+		return
+	}
+	retired := m.BE.Stats.Retired
+	misses := m.FE.ICache().Stats.Misses
+	emitted := m.FE.Stats.PrefetchesEmitted
+	useful := m.FE.Stats.PrefetchUseful
+	useless := m.FE.Stats.PrefetchUseless
+
+	s := obs.IntervalSample{
+		Workload:     m.obs.Workload,
+		Mechanism:    m.obs.Mechanism,
+		Salt:         m.obs.Salt,
+		Cycle:        m.cycle,
+		Retired:      retired - m.obsLastRetired,
+		RetiredTotal: retired,
+		FTQDepth:     m.FE.Queue().Cap(),
+		FTQOcc:       m.FE.Queue().Len(),
+		Emitted:      emitted - m.obsLastEmitted,
+	}
+	s.IPC = float64(s.Retired) / float64(cycles)
+	if s.Retired > 0 {
+		s.IcacheMPKI = float64(misses-m.obsLastMisses) / float64(s.Retired) * 1000
+	}
+	du := useful - m.obsLastUseful
+	dl := useless - m.obsLastUseless
+	if du+dl > 0 {
+		s.Accuracy = float64(du) / float64(du+dl)
+	}
+	m.obs.AddSample(s)
+
+	m.obsLastCycle = m.cycle
+	m.obsLastRetired = retired
+	m.obsLastMisses = misses
+	m.obsLastEmitted = emitted
+	m.obsLastUseful = useful
+	m.obsLastUseless = useless
+}
+
+// obsFlush closes the final partial interval at the end of a measured
+// run, so the per-sample retired deltas sum exactly to
+// Result.Instructions.
+func (m *Machine) obsFlush() {
+	if m.obs == nil || m.obs.Interval == 0 {
+		return
+	}
+	m.obsSample()
+}
+
+// RunSimpointsObserved is RunSimpointsParallel with a per-region attach
+// callback: attach(region, machine) is invoked after each region's
+// machine is built and before it runs, giving the caller a place to
+// AttachObserver with per-region tracers/lifecycles (observers must not
+// be shared across machines). A nil attach degrades to the plain
+// parallel runner.
+func RunSimpointsObserved(cfg Config, n, parallelism int, attach func(region int, m *Machine)) ([]Result, Result, error) {
+	if n <= 0 {
+		n = 1
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	prog, err := workloadImage(cfg)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	runRegion := func(i int) {
+		c := cfg
+		c.SeedSalt = uint64(i) * 7919
+		m, err := NewMachineWithProgram(c, prog)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if attach != nil {
+			attach(i, m)
+		}
+		results[i] = m.Run()
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			runRegion(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, parallelism)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runRegion(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, Result{}, err
+	}
+	return results, Aggregate(results), nil
+}

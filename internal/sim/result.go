@@ -1,14 +1,12 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"udpsim/internal/backend"
 	"udpsim/internal/frontend"
+	"udpsim/internal/obs"
 )
 
 // Result is the measured outcome of one simulation region.
@@ -58,6 +56,11 @@ type Result struct {
 	MechanismSummary string
 	FE               frontend.Stats
 	BE               backend.Stats
+
+	// Lifecycle is the per-prefetch timing digest (emit→fill latency,
+	// demand-wait lateness, fill→use residency). Tracked is false when
+	// the run had no lifecycle observer attached.
+	Lifecycle obs.LifecycleSummary
 }
 
 // Snapshot computes a Result from the machine's current statistics.
@@ -117,12 +120,16 @@ func (m *Machine) Snapshot() Result {
 		r.MechanismSummary = fmt.Sprintf("%s: depth %d (QDAUR %d, QDATR %d), %d windows, %d adjustments, %d re-searches",
 			m.UFTQ.Name(), m.UFTQ.Depth(), m.UFTQ.QDAUR(), m.UFTQ.QDATR(), m.UFTQ.Windows, m.UFTQ.Adjustments, m.UFTQ.Researches)
 	}
+	if m.obs != nil && m.obs.Life != nil {
+		r.Lifecycle = m.obs.Life.Summary()
+	}
 	return r
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s/%s: IPC %.3f, icache MPKI %.2f, timeliness %.2f, on-path %.2f, useful %.2f, FTQ %d",
-		r.Workload, r.Mechanism, r.IPC, r.IcacheMPKI, r.Timeliness, r.OnPathRatio, r.Usefulness, r.FinalFTQDepth)
+	return fmt.Sprintf("%s/%s: IPC %.3f, icache MPKI %.2f, branch MPKI %.2f, lost-instrs PKI %.1f, timeliness %.2f, on-path %.2f, useful %.2f, FTQ %d",
+		r.Workload, r.Mechanism, r.IPC, r.IcacheMPKI, r.BranchMPKI, r.LostInstrsPKI,
+		r.Timeliness, r.OnPathRatio, r.Usefulness, r.FinalFTQDepth)
 }
 
 // Speedup returns (r.IPC / base.IPC − 1) as a fraction.
@@ -160,64 +167,25 @@ func RunSimpoints(cfg Config, n int) ([]Result, Result, error) {
 // parallelism; results are returned in salt order. parallelism == 1
 // runs serially; <= 0 means GOMAXPROCS.
 func RunSimpointsParallel(cfg Config, n, parallelism int) ([]Result, Result, error) {
-	if n <= 0 {
-		n = 1
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	prog, err := workloadImage(cfg)
-	if err != nil {
-		return nil, Result{}, err
-	}
-	if parallelism > n {
-		parallelism = n
-	}
-	results := make([]Result, n)
-	errs := make([]error, n)
-	runRegion := func(i int) {
-		c := cfg
-		c.SeedSalt = uint64(i) * 7919
-		m, err := NewMachineWithProgram(c, prog)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i] = m.Run()
-	}
-	if parallelism <= 1 {
-		for i := 0; i < n; i++ {
-			runRegion(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, parallelism)
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				runRegion(i)
-			}(i)
-		}
-		wg.Wait()
-	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, Result{}, err
-	}
-	return results, Aggregate(results), nil
+	return RunSimpointsObserved(cfg, n, parallelism, nil)
 }
 
 // Aggregate combines per-simpoint results: cycle- and instruction-
 // weighted sums with an arithmetic-mean IPC over regions (matching the
-// paper's per-application aggregation of simpoints).
+// paper's per-application aggregation of simpoints). Mean fields are
+// NaN-safe: a degenerate region (Retired == 0, e.g. a failed or empty
+// run) contributes its counters but never poisons the averaged ratios
+// with NaN.
 func Aggregate(rs []Result) Result {
 	if len(rs) == 0 {
 		return Result{}
 	}
 	agg := rs[0]
 	if len(rs) == 1 {
+		agg.IPC = nanSafe(agg.IPC)
+		agg.IcacheMPKI = nanSafe(agg.IcacheMPKI)
+		agg.LostInstrsPKI = nanSafe(agg.LostInstrsPKI)
+		agg.BranchMPKI = nanSafe(agg.BranchMPKI)
 		return agg
 	}
 	var ipcSum, tSum, opSum, uSum, occSum float64
@@ -236,12 +204,13 @@ func Aggregate(rs []Result) Result {
 		agg.Recoveries += r.Recoveries
 		agg.PostFetchResteers += r.PostFetchResteers
 		agg.LostInstrs += r.LostInstrs
-		ipcSum += r.IPC
-		tSum += r.Timeliness
-		opSum += r.OnPathRatio
-		uSum += r.Usefulness
-		occSum += r.MeanFTQOcc
+		ipcSum += nanSafe(r.IPC)
+		tSum += nanSafe(r.Timeliness)
+		opSum += nanSafe(r.OnPathRatio)
+		uSum += nanSafe(r.Usefulness)
+		occSum += nanSafe(r.MeanFTQOcc)
 		agg.FinalFTQDepth += r.FinalFTQDepth
+		agg.Lifecycle = agg.Lifecycle.Merge(r.Lifecycle)
 	}
 	n := float64(len(rs))
 	agg.IPC = ipcSum / n
@@ -256,6 +225,15 @@ func Aggregate(rs []Result) Result {
 		agg.BranchMPKI = float64(agg.Recoveries) / float64(agg.Instructions) * 1000
 	}
 	return agg
+}
+
+// nanSafe maps NaN/±Inf to 0 so aggregated means stay finite when a
+// region retired no instructions.
+func nanSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Geomean returns the geometric mean of 1+x over the values, minus 1 —

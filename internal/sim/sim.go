@@ -18,6 +18,7 @@ import (
 	"udpsim/internal/frontend"
 	"udpsim/internal/isa"
 	"udpsim/internal/memory"
+	"udpsim/internal/obs"
 	"udpsim/internal/workload"
 )
 
@@ -202,6 +203,17 @@ type Machine struct {
 	EIP  *eip.EIP
 
 	cycle uint64
+
+	// Observability (attached post-construction via AttachObserver so
+	// Config — and the result-cache key — stays unchanged). The
+	// obsLast* fields are the interval sampler's delta baselines.
+	obs            *obs.Observer
+	obsLastCycle   uint64
+	obsLastRetired uint64
+	obsLastMisses  uint64
+	obsLastEmitted uint64
+	obsLastUseful  uint64
+	obsLastUseless uint64
 }
 
 // NewMachine builds and wires a machine. The program image is generated
@@ -400,6 +412,9 @@ func (m *Machine) Step() {
 	m.cycle++
 	m.FE.Cycle(m.cycle)
 	m.BE.Cycle(m.cycle)
+	if m.obs != nil {
+		m.obsTick()
+	}
 }
 
 // Run simulates until MaxInstructions retire (after warmup) and
@@ -410,10 +425,21 @@ func (m *Machine) Run() Result {
 		maxInstr = 1_000_000
 	}
 	if w := m.cfg.WarmupInstructions; w > 0 {
+		// Suppress interval samples during warmup so a streaming metrics
+		// sink sees only measured-region rows (their retired deltas must
+		// sum to Result.Instructions).
+		var iv uint64
+		if m.obs != nil {
+			iv, m.obs.Interval = m.obs.Interval, 0
+		}
 		m.RunInstructions(w)
 		m.ResetStats()
+		if m.obs != nil {
+			m.obs.Interval = iv
+		}
 	}
 	m.RunInstructions(maxInstr)
+	m.obsFlush()
 	return m.Snapshot()
 }
 
@@ -448,4 +474,11 @@ func (m *Machine) ResetStats() {
 	m.FE.OccupancyHist.Reset()
 	q := m.FE.Queue()
 	q.OccupancySum, q.OccupancySamples = 0, 0
+	if m.obs != nil {
+		if m.obs.Life != nil {
+			m.obs.Life.Reset()
+		}
+		m.obs.ResetSamples()
+		m.obsRearm()
+	}
 }

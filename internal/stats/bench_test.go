@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// observeLinear is the pre-optimization bucket lookup, kept as the
+// benchmark baseline for the sort.Search version in Observe.
+func (h *Histogram) observeLinear(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// benchSamples draws values spread across the full 63-bucket range so
+// the linear scan pays its average-case cost (half the bounds slice).
+func benchSamples(n int) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = rng.Uint64() >> uint(rng.Intn(64))
+	}
+	return s
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	samples := benchSamples(1 << 12)
+	b.Run("binary-63", func(b *testing.B) {
+		h := NewLog2Histogram(63)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(samples[i&(len(samples)-1)])
+		}
+	})
+	b.Run("linear-63", func(b *testing.B) {
+		h := NewLog2Histogram(63)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.observeLinear(samples[i&(len(samples)-1)])
+		}
+	})
+	b.Run("binary-20", func(b *testing.B) {
+		h := NewLog2Histogram(20)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(samples[i&(len(samples)-1)])
+		}
+	})
+	b.Run("linear-20", func(b *testing.B) {
+		h := NewLog2Histogram(20)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.observeLinear(samples[i&(len(samples)-1)])
+		}
+	})
+}
+
+// TestObserveBinaryMatchesLinear pins the binary-search bucket lookup
+// to the original linear semantics across bucket edges.
+func TestObserveBinaryMatchesLinear(t *testing.T) {
+	a := NewLog2Histogram(63)
+	b := NewLog2Histogram(63)
+	vals := []uint64{0, 1, 2, 3, 4, 5, 7, 8, 9, 1023, 1024, 1025, 1 << 62, ^uint64(0)}
+	vals = append(vals, benchSamples(1024)...)
+	for _, v := range vals {
+		a.Observe(v)
+		b.observeLinear(v)
+	}
+	if a.total != b.total || a.sum != b.sum || a.max != b.max {
+		t.Fatalf("scalar mismatch: %+v vs %+v", a, b)
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			bound := "overflow"
+			if i < len(a.bounds) {
+				bound = "≤" + itoa(a.bounds[i])
+			}
+			t.Fatalf("bucket %d (%s): binary %d, linear %d", i, bound, a.counts[i], b.counts[i])
+		}
+	}
+	// Sanity: sort.Search really is used on ascending bounds.
+	if !sort.SliceIsSorted(a.bounds, func(i, j int) bool { return a.bounds[i] < a.bounds[j] }) {
+		t.Fatal("bounds not ascending")
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
