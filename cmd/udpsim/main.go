@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		name      = flag.String("workload", "mysql", "application to simulate (see -list)")
-		mech      = flag.String("mechanism", "baseline", "prefetch mechanism: baseline, no-prefetch, perfect-icache, uftq-aur, uftq-atr, uftq-atr-aur, udp, udp-infinite, eip")
+		mech      = flag.String("mechanism", "baseline", "prefetch mechanism: "+sim.MechanismNames()+" (see -list-mechanisms)")
 		ftq       = flag.Int("ftq", 32, "FTQ depth (baseline/UDP) or initial depth (UFTQ)")
 		btb       = flag.Int("btb", 8192, "BTB entries")
 		icache    = flag.Int("icache", 32*1024, "L1I size in bytes")
@@ -37,6 +37,7 @@ func main() {
 		simpoints = flag.Int("simpoints", 1, "number of simulated regions")
 		parallel  = flag.Int("j", 1, "max concurrently simulated regions (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list workloads and exit")
+		listMechs = flag.Bool("list-mechanisms", false, "list registered prefetch mechanisms and exit")
 		udpThresh = flag.Int("udp-threshold", 0, "override UDP confidence threshold")
 		udpHidden = flag.Bool("udp-hidden", true, "enable UDP hidden-taken-branch trigger")
 		btbFill   = flag.Bool("btb-fill", false, "enable predecode BTB fill from prefetched lines (Boomerang-style)")
@@ -61,6 +62,15 @@ func main() {
 		if _, err := obs.ServeDebug(*pprofAddr, log); err != nil {
 			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
 		}
+	}
+
+	if *listMechs {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, d := range sim.MechanismDescriptors() {
+			fmt.Fprintf(tw, "%s\t%s\n", d.Name, d.Doc)
+		}
+		tw.Flush()
+		return
 	}
 
 	if *list {

@@ -52,7 +52,7 @@ func main() {
 	for i := 0; i < 6; i++ {
 		m.RunInstructions(100_000)
 		fmt.Printf("  %4dk instrs: FTQ depth %-3d (QDAUR %d, QDATR %d, %d re-searches)\n",
-			(i+1)*100, m.UFTQ.Depth(), m.UFTQ.QDAUR(), m.UFTQ.QDATR(), m.UFTQ.Researches)
+			(i+1)*100, m.UFTQ().Depth(), m.UFTQ().QDAUR(), m.UFTQ().QDATR(), m.UFTQ().Researches)
 	}
 	r := m.Snapshot()
 	fmt.Printf("\nUFTQ-ATR-AUR: IPC %.4f (MPKI %.1f), final depth %d\n",

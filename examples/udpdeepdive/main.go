@@ -23,27 +23,27 @@ func main() {
 	}
 
 	fmt.Println("UDP internals on xgboost (cold start, 400k instructions)")
-	fmt.Printf("hardware budget: %d bytes\n\n", m.UDP.StorageBytes())
+	fmt.Printf("hardware budget: %d bytes\n\n", m.UDP().StorageBytes())
 
 	fmt.Printf("%8s %10s %10s %10s %10s %8s %8s\n",
 		"instrs", "assumed", "candidates", "emitted", "dropped", "fill", "flushes")
 	for i := 0; i < 8; i++ {
 		m.RunInstructions(50_000)
-		u := m.UDP
+		u := m.UDP()
 		set := u.Set().(*core.BloomUsefulSet)
 		fmt.Printf("%7dk %10d %10d %10d %10d %7.2f %8d\n",
 			(i+1)*50, u.OffPathAssumptions, u.CandidatesSeen,
 			u.CandidatesEmitted, u.CandidatesDropped, set.FillRatio(), set.Flushes)
 	}
 
-	set := m.UDP.Set().(*core.BloomUsefulSet)
+	set := m.UDP().Set().(*core.BloomUsefulSet)
 	fmt.Println("\nuseful-set composition:")
 	fmt.Printf("  1-line inserts:  %d (16k-bit filter)\n", set.Inserted1)
 	fmt.Printf("  2-line inserts:  %d (1k-bit filter)\n", set.Inserted2)
 	fmt.Printf("  4-line inserts:  %d (1k-bit filter)\n", set.Inserted4)
 	fmt.Printf("  lookup hits:     %d / %d / %d (1-/2-/4-line)\n", set.Hits1, set.Hits2, set.Hits4)
 
-	sen := m.UDP.Seniority()
+	sen := m.UDP().Seniority()
 	fmt.Println("\nSeniority-FTQ (off-path candidates surviving flushes):")
 	fmt.Printf("  insertions %d, retire-matches %d (%.0f%% proven useful), evictions %d\n",
 		sen.Insertions, sen.Matches,

@@ -157,9 +157,19 @@ func New(cfg Config, fe *frontend.Frontend, hier *memory.Hierarchy) *Backend {
 		fe:   fe,
 		hier: hier,
 		rob:  make([]robEntry, cfg.ROBSize),
-		rng:  0x9e3779b97f4a7c15,
+		// The scheduler worklists are bounded by the live ROB window
+		// (plus one decode group of stale refs awaiting compaction);
+		// preallocating keeps the per-cycle loop allocation-free.
+		pendingIssue: make([]entryRef, 0, cfg.ROBSize+cfg.Width),
+		inFlight:     make([]entryRef, 0, cfg.ROBSize+cfg.Width),
+		rng:          0x9e3779b97f4a7c15,
 	}
 }
+
+// ResetStats clears the backend's accumulated statistics (end of
+// warmup) while preserving pipeline state. It implements the sim
+// package's StatsResetter.
+func (b *Backend) ResetStats() { b.Stats = Stats{} }
 
 // ROBOccupancy returns the number of in-flight instructions.
 func (b *Backend) ROBOccupancy() int { return b.count }
@@ -195,6 +205,8 @@ func (b *Backend) retire(cycle uint64) {
 			if b.RetireObserver != nil {
 				b.RetireObserver(fi)
 			}
+			// Retirement is the instruction's last use: recycle it.
+			b.fe.ReleaseInstr(fi)
 		} else {
 			// Wrong-path instructions normally get squashed by the
 			// recovery flush before retiring; an off-path instruction
@@ -268,6 +280,10 @@ func (b *Backend) recoverAt(idx int, cycle uint64) {
 			}
 			b.Stats.Flushed++
 			e.valid = false
+			// A squashed instruction has no further readers (worklist
+			// refs are dropped by the valid/gen checks): recycle it.
+			b.fe.ReleaseInstr(e.fi)
+			e.fi = nil
 			b.count--
 		}
 		b.tail = k

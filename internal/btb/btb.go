@@ -111,6 +111,11 @@ func (b *BTB) Probe(pc isa.Addr) bool {
 // frontend once it learns a missed branch was taken).
 func (b *BTB) RecordTakenMiss() { b.Stats.MissesTaken++ }
 
+// ResetStats clears the accumulated statistics (end of warmup) while
+// preserving the predictor contents. It implements the sim package's
+// StatsResetter.
+func (b *BTB) ResetStats() { b.Stats = Stats{} }
+
 // Insert installs or updates the entry for the branch at pc. The
 // frontend calls this at resolution/decode time for branches that missed
 // and for indirect branches whose target changed.

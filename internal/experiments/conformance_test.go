@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"udpsim/internal/sim"
+	"udpsim/internal/workload"
+)
+
+// TestRegistryConformance is the contract every registered mechanism
+// must satisfy to live in the registry: its name round-trips through
+// descriptor JSON validation and the result-cache key, and its Build
+// produces a machine that actually simulates (a tiny run retires the
+// requested instructions with a plausible IPC). A mechanism that
+// registers but fails any of these would silently poison experiment
+// grids, so the conformance suite runs the whole registry.
+func TestRegistryConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	mechs := sim.Mechanisms()
+	if len(mechs) == 0 {
+		t.Fatal("empty mechanism registry")
+	}
+
+	prof := workload.MustByName("mysql")
+	prof.Funcs = 60
+	prof.DispatchTargets = 40
+
+	seenKeys := map[string]sim.Mechanism{}
+	for _, mech := range mechs {
+		mech := mech
+		t.Run(string(mech), func(t *testing.T) {
+			t.Parallel()
+			desc, ok := sim.LookupMechanism(mech)
+			if !ok {
+				t.Fatalf("listed mechanism %q not resolvable", mech)
+			}
+			if desc.Doc == "" {
+				t.Errorf("mechanism %q has no doc line for -list-mechanisms", mech)
+			}
+
+			// Round-trip through descriptor JSON validation: the name a
+			// user writes in an isca.json-style spec must be accepted.
+			js := fmt.Sprintf(`{"name":"conf","workloads":["mysql"],"configs":[{"label":"x","mechanism":%q}]}`, mech)
+			if _, err := ParseDescriptor(strings.NewReader(js)); err != nil {
+				t.Fatalf("descriptor validation rejects registered mechanism: %v", err)
+			}
+
+			// Round-trip through the result-cache key: the mechanism
+			// name must be embedded verbatim (cache cells must not
+			// alias across mechanisms).
+			cfg := sim.NewConfig(prof, mech)
+			cfg.MaxInstructions = 50_000
+			cfg.WarmupInstructions = 10_000
+			key := sim.ConfigKey(cfg)
+			if !strings.Contains(key, "mech="+string(mech)+"|") {
+				t.Errorf("ConfigKey does not embed mechanism name: %q", key)
+			}
+
+			// The binding must assemble into a machine that simulates.
+			r, err := sim.RunOne(cfg)
+			if err != nil {
+				t.Fatalf("RunOne: %v", err)
+			}
+			if r.Instructions < cfg.MaxInstructions {
+				t.Errorf("retired %d < requested %d", r.Instructions, cfg.MaxInstructions)
+			}
+			if r.IPC <= 0.05 || r.IPC > 6 {
+				t.Errorf("implausible IPC %.3f", r.IPC)
+			}
+		})
+	}
+
+	// Key distinctness is a cross-mechanism property; compute serially.
+	for _, mech := range mechs {
+		cfg := sim.NewConfig(prof, mech)
+		key := sim.ConfigKey(cfg)
+		if prev, dup := seenKeys[key]; dup {
+			t.Errorf("mechanisms %q and %q share a cache key", mech, prev)
+		}
+		seenKeys[key] = mech
+	}
+}

@@ -88,14 +88,11 @@ func (d *Descriptor) Validate() error {
 			return fmt.Errorf("experiments: duplicate config label %q", c.Label)
 		}
 		seen[c.Label] = true
-		valid := false
-		for _, m := range sim.Mechanisms() {
-			if string(m) == c.Mechanism {
-				valid = true
-			}
-		}
-		if !valid {
-			return fmt.Errorf("experiments: config %q has unknown mechanism %q", c.Label, c.Mechanism)
+		// Descriptors must name mechanisms explicitly — the empty-string
+		// alias for baseline is a programmatic convenience only.
+		if _, ok := sim.LookupMechanism(sim.Mechanism(c.Mechanism)); !ok || c.Mechanism == "" {
+			return fmt.Errorf("experiments: config %q has unknown mechanism %q (registered: %s)",
+				c.Label, c.Mechanism, sim.MechanismNames())
 		}
 	}
 	if d.Instructions == 0 {

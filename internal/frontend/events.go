@@ -100,19 +100,30 @@ func (f *Frontend) OnDecode(fi *FrontInstr, cycle uint64) bool {
 }
 
 // flushYoungerThan clears all frontend state younger than seq: FTQ
-// blocks, the in-progress fetch block, and the decode queue.
+// blocks, the in-progress fetch block, and the decode queue. Flushed
+// blocks and instructions return to the pools; instructions already
+// handed to the backend are released by the ROB (retire/squash).
 func (f *Frontend) flushYoungerThan(seq uint64) {
-	// Everything still queued is younger than an instruction that has
-	// reached decode or execute.
-	f.ftq.Flush()
-	f.curBlock = nil
-	f.needAccess = false
-	f.decodeQ.clear()
 	// A divergence belonging to a flushed (younger) instruction is
-	// void.
+	// void; nil the pointer before its owning instruction is recycled.
 	if f.divergence != nil && f.divSeq > seq {
 		f.divergence = nil
 		// Path state is re-established by the caller.
+	}
+	// Everything still queued is younger than an instruction that has
+	// reached decode or execute.
+	for fb := f.ftq.Pop(); fb != nil; fb = f.ftq.Pop() {
+		f.releaseBlockInstrs(fb, 0)
+	}
+	if f.curBlock != nil {
+		// Instructions before curIdx were streamed to the decode queue
+		// or backend; only the unstreamed tail dies with the block.
+		f.releaseBlockInstrs(f.curBlock, f.curIdx)
+		f.curBlock = nil
+	}
+	f.needAccess = false
+	for fi := f.decodeQ.pop(); fi != nil; fi = f.decodeQ.pop() {
+		f.instrs.put(fi)
 	}
 }
 

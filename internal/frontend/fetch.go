@@ -160,6 +160,9 @@ func (f *Frontend) fetchStage(cycle uint64) {
 		f.curIdx++
 		budget--
 		if f.curIdx >= len(f.curBlock.Instrs) {
+			// Fully streamed: the instructions now belong to the decode
+			// queue/backend; only the block shell returns to the pool.
+			f.blocks.put(f.curBlock)
 			f.curBlock = nil
 		}
 	}

@@ -49,6 +49,11 @@ type Config struct {
 	PredecodeBTBFill bool
 	// RASEntries sizes the return address stack.
 	RASEntries int
+	// InFlightHint is how many instructions may live outside the
+	// frontend (the backend's ROB size); it sizes the frontend's
+	// preallocated instruction pool so the steady-state cycle loop never
+	// allocates. Zero falls back to a generous default.
+	InFlightHint int
 }
 
 // Stats aggregates the frontend events the paper's figures are built
@@ -167,6 +172,11 @@ type Frontend struct {
 
 	decodeQ instrQueue
 
+	// instrs/blocks are the zero-alloc free lists for the per-cycle
+	// objects (see pool.go).
+	instrs instrPool
+	blocks blockPool
+
 	Stats Stats
 	// ResolutionLatency distributes cycles from divergence to recovery
 	// (execute-time resolutions only; decode-time heals are cheaper).
@@ -240,9 +250,34 @@ func New(cfg Config, d Deps) *Frontend {
 		onPath:  true,
 	}
 	f.decodeQ.init(cfg.DecodeQueueCap)
+	// Preallocate the pools to the structural in-flight bound: every
+	// FTQ slot full of maximal blocks, plus the block being built and
+	// the block being streamed, plus the decode queue and the backend's
+	// ROB (InFlightHint).
+	inFlight := cfg.InFlightHint
+	if inFlight <= 0 {
+		inFlight = 512
+	}
+	nBlocks := cfg.FTQPhysMax + 2
+	f.blocks = newBlockPool(nBlocks)
+	f.instrs = newInstrPool(nBlocks*isa.InstrPerBlock + cfg.DecodeQueueCap + inFlight + cfg.FetchWidth)
 	f.ResolutionLatency = stats.NewLog2Histogram(14)
 	f.OccupancyHist = stats.NewLinearHistogram(16, uint64((cfg.FTQPhysMax+15)/16))
 	return f
+}
+
+// ResetStats clears every statistic the frontend accumulates — its own
+// counters, the icache and fill-buffer stats, the latency/occupancy
+// histograms, and the FTQ occupancy accumulators — while preserving
+// microarchitectural state. It implements the sim package's
+// StatsResetter.
+func (f *Frontend) ResetStats() {
+	f.Stats = Stats{}
+	f.icache.Stats = cache.Stats{}
+	f.mshrs.Stats = cache.MSHRStats{}
+	f.ResolutionLatency.Reset()
+	f.OccupancyHist.Reset()
+	f.ftq.OccupancySum, f.ftq.OccupancySamples = 0, 0
 }
 
 // ICache exposes the instruction cache (stats, tests).
@@ -301,12 +336,11 @@ func (f *Frontend) buildBlocks(cycle uint64) {
 func (f *Frontend) buildBlock(cycle uint64) *FetchBlock {
 	start := f.fetchPC
 	f.blockSeq++
-	fb := &FetchBlock{
-		StartPC:        start,
-		Seq:            f.blockSeq,
-		OffPath:        !f.onPath,
-		AssumedOffPath: f.tuner.AssumeOffPath(),
-	}
+	fb := f.blocks.get()
+	fb.StartPC = start
+	fb.Seq = f.blockSeq
+	fb.OffPath = !f.onPath
+	fb.AssumedOffPath = f.tuner.AssumeOffPath()
 	if fb.OffPath {
 		f.Stats.OffPathBlocks++
 	}
@@ -317,7 +351,10 @@ func (f *Frontend) buildBlock(cycle uint64) *FetchBlock {
 	for pc < blockEnd {
 		si := f.prog.InstrAt(pc)
 		f.fetchSeq++
-		fi := &FrontInstr{Static: si, OnPath: f.onPath, FetchSeq: f.fetchSeq}
+		fi := f.instrs.get()
+		fi.Static = si
+		fi.OnPath = f.onPath
+		fi.FetchSeq = f.fetchSeq
 		if f.onPath {
 			fi.Oracle = f.oracle.Consume()
 			fi.OracleCursorAfter = f.oracle.Cursor()
@@ -359,14 +396,16 @@ func (f *Frontend) handleBranch(fb *FetchBlock, fi *FrontInstr, cycle uint64) (i
 		// The frontend is blind to this branch: it continues
 		// sequentially and the branch will surface at decode
 		// (post-fetch correction). Record the build-time snapshots the
-		// decode-time handling will need.
-		fi.Branch = &PredictedBranch{
+		// decode-time handling will need. The PredictedBranch lives in
+		// the instruction's embedded storage (zero-alloc hot loop).
+		fi.branchStorage = PredictedBranch{
 			PC:       pc,
 			Kind:     si.Branch,
 			FromBTB:  false,
 			HistSnap: f.dir.Snapshot(),
 			RASSnap:  f.ras.Snapshot(),
 		}
+		fi.Branch = &fi.branchStorage
 		if f.onPath && fi.Oracle.Taken {
 			// Ground truth: the oracle jumped; the frontend is now on
 			// the wrong (sequential) path.
@@ -376,13 +415,14 @@ func (f *Frontend) handleBranch(fb *FetchBlock, fi *FrontInstr, cycle uint64) (i
 		return 0, false
 	}
 
-	pb := &PredictedBranch{
+	fi.branchStorage = PredictedBranch{
 		PC:       pc,
 		Kind:     entry.Kind,
 		FromBTB:  true,
 		HistSnap: f.dir.Snapshot(),
 		RASSnap:  f.ras.Snapshot(),
 	}
+	pb := &fi.branchStorage
 	fi.Branch = pb
 
 	// Direction.
@@ -435,7 +475,10 @@ func (f *Frontend) handleBranch(fb *FetchBlock, fi *FrontInstr, cycle uint64) (i
 // diverge records that fi is the point where the frontend left the
 // oracle path.
 func (f *Frontend) diverge(fi *FrontInstr, kind DivKind, recoverPC isa.Addr, actualTaken bool, actualTarget isa.Addr, cycle uint64) {
-	div := &Divergence{
+	// The Divergence lives in the diverging instruction's embedded
+	// storage (zero-alloc hot loop); f.divergence is nilled before the
+	// instruction can be released (flushYoungerThan, Recover, OnDecode).
+	fi.divStorage = Divergence{
 		Kind:         kind,
 		RecoverPC:    recoverPC,
 		OracleCursor: fi.OracleCursorAfter,
@@ -447,6 +490,7 @@ func (f *Frontend) diverge(fi *FrontInstr, kind DivKind, recoverPC isa.Addr, act
 		BranchKind:   fi.Static.Branch,
 		BornCycle:    cycle,
 	}
+	div := &fi.divStorage
 	fi.Divergence = div
 	f.divergence = div
 	f.divSeq = fi.FetchSeq

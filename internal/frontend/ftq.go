@@ -54,6 +54,16 @@ type FrontInstr struct {
 	// OracleCursorAfter is the oracle stream position right after this
 	// instruction (valid only when OnPath); recovery rewinds to it.
 	OracleCursorAfter uint64
+
+	// branchStorage and divStorage are the value storage Branch and
+	// Divergence point into when set: a FrontInstr carries at most one
+	// of each, so embedding them in the pooled instruction removes the
+	// last per-instruction heap allocations from the cycle loop. They
+	// are live exactly as long as the owning instruction (the frontend
+	// clears its cross-instruction divergence pointer before the owner
+	// is released; see flushYoungerThan and Recover).
+	branchStorage PredictedBranch
+	divStorage    Divergence
 }
 
 // DivKind classifies why the frontend diverged from the oracle path.

@@ -112,6 +112,16 @@ func New(cfg Config) *Hierarchy {
 	return h
 }
 
+// ResetStats clears the hierarchy's and every level's accumulated
+// statistics (end of warmup) while preserving cache contents. It
+// implements the sim package's StatsResetter.
+func (h *Hierarchy) ResetStats() {
+	h.Stats = Stats{}
+	h.L1D.Stats = cache.Stats{}
+	h.L2.Stats = cache.Stats{}
+	h.LLC.Stats = cache.Stats{}
+}
+
 // InstrFill serves an instruction-line miss from L1I, returning the cycle
 // the line becomes available and the level that supplied it. The line is
 // installed into L2/LLC on its way up (mostly-inclusive behaviour).

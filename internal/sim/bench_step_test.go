@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+)
+
+// benchStepMachine builds a warmed-up machine for the per-cycle hot-loop
+// benchmarks: the image is shared, the machine has run long enough that
+// caches, predictors and the frontend's scratch pools are in steady
+// state, and no observer is attached (the production configuration of
+// the parallel experiment grid).
+func benchStepMachine(b *testing.B, mech Mechanism) *Machine {
+	b.Helper()
+	cfg := testConfig(mech)
+	prog, err := SharedImage(cfg.Workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachineWithProgram(cfg, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm to steady state so the benchmark measures the recurring
+	// per-cycle cost, not cold caches or pool growth.
+	m.RunInstructions(100_000)
+	return m
+}
+
+// BenchmarkMachineStep measures the raw per-cycle cost of the assembled
+// machine — the innermost loop every figure, sweep and experiment cell
+// spins in. It must report 0 allocs/op: the parallel experiment engine
+// scales with cores only if the hot loop never touches the garbage
+// collector (TestMachineStepZeroAlloc gates this; CI fails on > 0).
+func BenchmarkMachineStep(b *testing.B) {
+	for _, mech := range []Mechanism{MechBaseline, MechUDP, MechUFTQATRAUR, MechEIP} {
+		b.Run(string(mech), func(b *testing.B) {
+			m := benchStepMachine(b, mech)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step()
+			}
+			b.StopTimer()
+			if r := m.BE.Stats.Retired; r > 0 {
+				b.ReportMetric(float64(r)/float64(b.N), "instrs/cycle")
+			}
+		})
+	}
+}
+
+// TestMachineStepZeroAlloc pins the zero-allocation invariant of the
+// per-cycle hot path for every registered mechanism: after warmup,
+// stepping the machine must never allocate. This is the CI gate for the
+// "fast as the hardware allows" budget — any allocation on this path
+// multiplies by ~10^8 cycles per experiment cell and serializes the
+// parallel grid behind the garbage collector.
+func TestMachineStepZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping alloc gate (needs a warmed machine)")
+	}
+	for _, mech := range Mechanisms() {
+		t.Run(string(mech), func(t *testing.T) {
+			cfg := testConfig(mech)
+			prog, err := SharedImage(cfg.Workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachineWithProgram(cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.RunInstructions(100_000)
+			avg := testing.AllocsPerRun(20_000, m.Step)
+			if avg != 0 {
+				t.Errorf("%s: Machine.Step allocates %.4f allocs/op, want 0", mech, avg)
+			}
+		})
+	}
+}

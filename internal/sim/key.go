@@ -39,8 +39,11 @@ func ConfigKey(cfg Config) string {
 	b.Grow(512)
 	b.WriteString("w{")
 	writeProfileKey(&b, cfg.Workload)
+	// The mechanism is normalized so that "" and "baseline" — which
+	// build identical machines — share one key (and therefore one
+	// result-cache cell) instead of simulating twice.
 	fmt.Fprintf(&b, "}|mech=%s|salt=%d|max=%d|warm=%d",
-		cfg.Mechanism, cfg.SeedSalt, cfg.MaxInstructions, cfg.WarmupInstructions)
+		NormalizeMechanism(cfg.Mechanism), cfg.SeedSalt, cfg.MaxInstructions, cfg.WarmupInstructions)
 	fmt.Fprintf(&b, "|ftq=%d|physmax=%d|bpc=%d|scan=%d|fw=%d|icb=%d|icw=%d|imshr=%d",
 		cfg.FTQDepth, cfg.FTQPhysMax, cfg.BlocksPerCycle, cfg.ScanPerCycle,
 		cfg.FetchWidth, cfg.ICacheBytes, cfg.ICacheWays, cfg.IMSHRs)

@@ -128,7 +128,7 @@ func TestUFTQAdjustsDepth(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Run()
-	if m.UFTQ.Windows == 0 {
+	if m.UFTQ().Windows == 0 {
 		t.Error("UFTQ never completed a measurement window")
 	}
 }
@@ -140,10 +140,10 @@ func TestUDPStateAfterRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := m.Run()
-	if m.UDP.StorageBytes() == 0 || m.UDP.StorageBytes() > 16*1024 {
-		t.Errorf("UDP storage %d outside budget sanity band", m.UDP.StorageBytes())
+	if m.UDP().StorageBytes() == 0 || m.UDP().StorageBytes() > 16*1024 {
+		t.Errorf("UDP storage %d outside budget sanity band", m.UDP().StorageBytes())
 	}
-	if r.UDPStorage != m.UDP.StorageBytes() {
+	if r.UDPStorage != m.UDP().StorageBytes() {
 		t.Error("result does not carry UDP storage")
 	}
 }

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+
+	"udpsim/internal/core"
+	"udpsim/internal/eip"
+	"udpsim/internal/frontend"
+	"udpsim/internal/obs"
+)
+
+// Mechanism selects the instruction-prefetch policy under evaluation.
+type Mechanism string
+
+// Mechanisms evaluated in the paper.
+const (
+	// MechBaseline is state-of-the-art FDIP with a fixed FTQ (depth 32
+	// unless overridden) — the paper's baseline [28].
+	MechBaseline Mechanism = "baseline"
+	// MechNoPrefetch disables FDIP prefetching.
+	MechNoPrefetch Mechanism = "no-prefetch"
+	// MechPerfectICache makes every instruction fetch hit (Fig. 1).
+	MechPerfectICache Mechanism = "perfect-icache"
+	// MechUFTQAUR / MechUFTQATR / MechUFTQATRAUR are the dynamic FTQ
+	// sizing controllers (Fig. 11/12).
+	MechUFTQAUR    Mechanism = "uftq-aur"
+	MechUFTQATR    Mechanism = "uftq-atr"
+	MechUFTQATRAUR Mechanism = "uftq-atr-aur"
+	// MechUDP is utility-driven prefetching with the 8KB Bloom
+	// useful-set (Fig. 13-17); MechUDPInfinite is its unbounded upper
+	// bound.
+	MechUDP         Mechanism = "udp"
+	MechUDPInfinite Mechanism = "udp-infinite"
+	// MechEIP is the entangled-instruction-prefetcher comparator at an
+	// 8KB metadata budget (Fig. 13).
+	MechEIP Mechanism = "eip"
+	// MechUDPUFTQ composes UDP's candidate filtering with UFTQ-ATR-AUR's
+	// dynamic FTQ sizing — the orthogonal combination the paper suggests
+	// but does not evaluate (ablation extension).
+	MechUDPUFTQ Mechanism = "udp-uftq"
+)
+
+// The in-tree mechanisms register themselves here; adding a comparator
+// is one RegisterMechanism call (see DESIGN.md "Adding a mechanism").
+// Registration order is the canonical presentation order (Mechanisms(),
+// -list-mechanisms, conformance tests).
+func init() {
+	RegisterMechanism(MechDescriptor{
+		Name:  MechBaseline,
+		Doc:   "FDIP with a fixed-depth FTQ (paper baseline, Table II depth 32)",
+		Build: func(Config) (Bindings, error) { return Bindings{}, nil },
+	})
+	RegisterMechanism(MechDescriptor{
+		Name: MechNoPrefetch,
+		Doc:  "FDIP disabled: demand fetch only (Fig. 1 lower bound)",
+		Build: func(Config) (Bindings, error) {
+			return Bindings{
+				MutateFrontend: func(fc *frontend.Config) { fc.NoPrefetch = true },
+			}, nil
+		},
+	})
+	RegisterMechanism(MechDescriptor{
+		Name: MechPerfectICache,
+		Doc:  "every instruction fetch hits the L1I (Fig. 1 upper bound)",
+		Build: func(Config) (Bindings, error) {
+			return Bindings{
+				MutateFrontend: func(fc *frontend.Config) { fc.PerfectICache = true },
+			}, nil
+		},
+	})
+	RegisterMechanism(MechDescriptor{
+		Name:  MechUFTQAUR,
+		Doc:   "dynamic FTQ sizing by prefetch utility ratio (Section IV-A)",
+		Build: buildUFTQ(core.UFTQAUR),
+	})
+	RegisterMechanism(MechDescriptor{
+		Name:  MechUFTQATR,
+		Doc:   "dynamic FTQ sizing by prefetch timeliness ratio (Section IV-A)",
+		Build: buildUFTQ(core.UFTQATR),
+	})
+	RegisterMechanism(MechDescriptor{
+		Name:  MechUFTQATRAUR,
+		Doc:   "dynamic FTQ sizing combining AUR and ATR searches (Section IV-A)",
+		Build: buildUFTQ(core.UFTQATRAUR),
+	})
+	RegisterMechanism(MechDescriptor{
+		Name:  MechUDP,
+		Doc:   "utility-driven prefetch filtering, 8KB Bloom useful-set (Section IV-B)",
+		Build: buildUDP(false),
+	})
+	RegisterMechanism(MechDescriptor{
+		Name:  MechUDPInfinite,
+		Doc:   "UDP with an unbounded useful-set (upper bound, Fig. 13)",
+		Build: buildUDP(true),
+	})
+	RegisterMechanism(MechDescriptor{
+		Name: MechEIP,
+		Doc:  "entangled instruction prefetcher comparator at 8KB metadata (Fig. 13)",
+		Build: func(cfg Config) (Bindings, error) {
+			e := eip.New(cfg.EIP)
+			return Bindings{External: e, EIP: e}, nil
+		},
+	})
+	RegisterMechanism(MechDescriptor{
+		Name: MechUDPUFTQ,
+		Doc:  "UDP filtering composed with UFTQ-ATR-AUR sizing (ablation extension)",
+		Build: func(cfg Config) (Bindings, error) {
+			u := cfg.UFTQ
+			u.Mode = core.UFTQATRAUR
+			comb := core.NewCombined(cfg.UDP, u)
+			b := Bindings{Tuner: comb, UDP: comb.UDP, UFTQ: comb.UFTQ}
+			b.Observe = func(o *obs.Observer) {
+				comb.UDP.Obs = o
+				comb.UFTQ.Obs = o
+			}
+			b.Telemetry = func(r *Result) {
+				udpTelemetry(comb.UDP)(r)
+				uftqTelemetry(comb.UFTQ)(r)
+			}
+			return b, nil
+		},
+	})
+}
+
+// buildUFTQ returns a Build function for one UFTQ sizing mode.
+func buildUFTQ(mode core.UFTQMode) func(Config) (Bindings, error) {
+	return func(cfg Config) (Bindings, error) {
+		u := cfg.UFTQ
+		u.Mode = mode
+		q := core.NewUFTQ(u)
+		return Bindings{
+			Tuner:     q,
+			UFTQ:      q,
+			Observe:   func(o *obs.Observer) { q.Obs = o },
+			Telemetry: uftqTelemetry(q),
+		}, nil
+	}
+}
+
+// buildUDP returns a Build function for UDP with a bounded or infinite
+// useful-set.
+func buildUDP(infinite bool) func(Config) (Bindings, error) {
+	return func(cfg Config) (Bindings, error) {
+		c := cfg.UDP
+		c.Infinite = infinite
+		u := core.NewUDP(c)
+		return Bindings{
+			Tuner:     u,
+			UDP:       u,
+			Observe:   func(o *obs.Observer) { u.Obs = o },
+			Telemetry: udpTelemetry(u),
+		}, nil
+	}
+}
+
+func udpTelemetry(u *core.UDP) func(*Result) {
+	return func(r *Result) {
+		r.UDPStorage = u.StorageBytes()
+		r.MechanismSummary = u.String()
+	}
+}
+
+func uftqTelemetry(q *core.UFTQ) func(*Result) {
+	return func(r *Result) {
+		r.MechanismSummary = fmt.Sprintf("%s: depth %d (QDAUR %d, QDATR %d), %d windows, %d adjustments, %d re-searches",
+			q.Name(), q.Depth(), q.QDAUR(), q.QDATR(), q.Windows, q.Adjustments, q.Researches)
+	}
+}

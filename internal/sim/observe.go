@@ -22,11 +22,8 @@ import (
 func (m *Machine) AttachObserver(o *obs.Observer) {
 	m.obs = o
 	m.FE.Obs = o
-	if m.UDP != nil {
-		m.UDP.Obs = o
-	}
-	if m.UFTQ != nil {
-		m.UFTQ.Obs = o
+	if m.mech.Observe != nil {
+		m.mech.Observe(o)
 	}
 	if o == nil {
 		return

@@ -128,14 +128,14 @@ func TestAttachObserverDetach(t *testing.T) {
 	}
 	o := &obs.Observer{Interval: 1_000}
 	m.AttachObserver(o)
-	if m.Observer() != o || m.FE.Obs != o || m.UDP.Obs != o {
+	if m.Observer() != o || m.FE.Obs != o || m.UDP().Obs != o {
 		t.Fatal("observer not threaded through")
 	}
 	if o.Workload == "" || o.Mechanism != string(MechUDP) {
 		t.Fatalf("run tags not stamped: %+v", o)
 	}
 	m.AttachObserver(nil)
-	if m.Observer() != nil || m.FE.Obs != nil || m.UDP.Obs != nil {
+	if m.Observer() != nil || m.FE.Obs != nil || m.UDP().Obs != nil {
 		t.Fatal("observer not detached")
 	}
 	m.RunInstructions(1_000) // must not panic with detached observer

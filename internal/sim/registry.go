@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udpsim/internal/core"
+	"udpsim/internal/eip"
+	"udpsim/internal/frontend"
+	"udpsim/internal/obs"
+)
+
+// This file is the mechanism plugin registry. A prefetch mechanism used
+// to be a case in a switch inside NewMachineWithSource plus half a dozen
+// hand-maintained lists (Mechanisms(), descriptor validation, cmd help
+// text, Machine's UFTQ/UDP/EIP fields, AttachObserver's wiring,
+// Snapshot's telemetry block). Adding a comparator meant editing all of
+// them in lockstep. Now a mechanism is one RegisterMechanism call: the
+// descriptor's Build function returns a Bindings bundle and everything
+// else — machine wiring, observer attach, result telemetry, stats
+// reset, validation, -list-mechanisms output — derives from it.
+
+// StatsResetter clears accumulated statistics while preserving
+// microarchitectural state (caches, predictors, learned sets). The
+// machine's warmup boundary walks every registered resetter.
+type StatsResetter interface {
+	ResetStats()
+}
+
+// Bindings bundles everything a mechanism may contribute to an
+// assembled machine. Every field is optional; the zero Bindings is the
+// baseline (fixed FTQ, FDIP on, no filtering).
+type Bindings struct {
+	// Tuner is installed as the frontend's mechanism hook surface
+	// (UFTQ sizing, UDP filtering). Nil means frontend.NopTuner.
+	Tuner frontend.Tuner
+
+	// External is installed as the frontend's auxiliary prefetcher
+	// (the EIP comparator).
+	External frontend.ExternalPrefetcher
+
+	// MutateFrontend edits the frontend configuration before the
+	// frontend is built (NoPrefetch, PerfectICache, ...).
+	MutateFrontend func(*frontend.Config)
+
+	// Observe threads an observer through the mechanism's nil-guarded
+	// observability hooks. It is called from Machine.AttachObserver with
+	// the new observer — including nil, which must detach.
+	Observe func(*obs.Observer)
+
+	// Telemetry lets the mechanism annotate the end-of-run Result
+	// (UDPStorage, MechanismSummary). Called from Machine.Snapshot after
+	// the generic fields are filled in.
+	Telemetry func(*Result)
+
+	// Stats, when non-nil, is invoked by Machine.ResetStats alongside
+	// the structural resetters (frontend, backend, hierarchy, BTB).
+	// Mechanisms whose reported counters should span warmup leave it
+	// nil.
+	Stats StatsResetter
+
+	// Typed views of the in-tree mechanism instances, for tests, the
+	// example programs, and figure drivers that reach into mechanism
+	// internals. Third-party plugins leave these nil.
+	UDP  *core.UDP
+	UFTQ *core.UFTQ
+	EIP  *eip.EIP
+}
+
+// MechDescriptor describes one registered mechanism.
+type MechDescriptor struct {
+	// Name is the identifier used in configs, descriptors, flags and
+	// result-cache keys.
+	Name Mechanism
+	// Doc is a one-line description (help text, -list-mechanisms).
+	Doc string
+	// Build constructs the mechanism's bindings for a configuration.
+	Build func(cfg Config) (Bindings, error)
+}
+
+var (
+	mechRegistry = map[Mechanism]*MechDescriptor{}
+	mechOrder    []Mechanism
+)
+
+// RegisterMechanism adds a mechanism to the registry; it is typically
+// called from an init function in the file that implements the
+// mechanism's bindings. Registering an empty name, a nil Build, or a
+// duplicate name panics: these are programming errors that must surface
+// at process start, not mid-experiment.
+func RegisterMechanism(d MechDescriptor) {
+	if d.Name == "" {
+		panic("sim: RegisterMechanism with empty name")
+	}
+	if d.Build == nil {
+		panic(fmt.Sprintf("sim: RegisterMechanism(%q) with nil Build", d.Name))
+	}
+	if _, dup := mechRegistry[d.Name]; dup {
+		panic(fmt.Sprintf("sim: mechanism %q registered twice", d.Name))
+	}
+	desc := d
+	mechRegistry[d.Name] = &desc
+	mechOrder = append(mechOrder, d.Name)
+}
+
+// NormalizeMechanism maps the empty mechanism to MechBaseline. The two
+// spellings always built identical machines, but before normalization
+// they produced distinct ConfigKeys and the experiment result cache
+// simulated the same cell twice.
+func NormalizeMechanism(m Mechanism) Mechanism {
+	if m == "" {
+		return MechBaseline
+	}
+	return m
+}
+
+// LookupMechanism resolves a (normalized) mechanism name.
+func LookupMechanism(m Mechanism) (MechDescriptor, bool) {
+	d, ok := mechRegistry[NormalizeMechanism(m)]
+	if !ok {
+		return MechDescriptor{}, false
+	}
+	return *d, true
+}
+
+// Mechanisms lists all registered mechanisms in registration order.
+func Mechanisms() []Mechanism {
+	out := make([]Mechanism, len(mechOrder))
+	copy(out, mechOrder)
+	return out
+}
+
+// MechanismDescriptors returns the full registry in registration order
+// (drives -list-mechanisms and generated help text).
+func MechanismDescriptors() []MechDescriptor {
+	out := make([]MechDescriptor, 0, len(mechOrder))
+	for _, name := range mechOrder {
+		out = append(out, *mechRegistry[name])
+	}
+	return out
+}
+
+// MechanismNames returns the registered names as a comma-separated,
+// sorted string (stable error messages and flag help).
+func MechanismNames() string {
+	names := make([]string, 0, len(mechOrder))
+	for _, m := range mechOrder {
+		names = append(names, string(m))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -112,13 +112,8 @@ func (m *Machine) Snapshot() Result {
 		r.LostInstrsPKI = float64(r.LostInstrs) / float64(be.Retired) * 1000
 		r.BranchMPKI = float64(fe.Recoveries) / float64(be.Retired) * 1000
 	}
-	if m.UDP != nil {
-		r.UDPStorage = m.UDP.StorageBytes()
-		r.MechanismSummary = m.UDP.String()
-	}
-	if m.UFTQ != nil {
-		r.MechanismSummary = fmt.Sprintf("%s: depth %d (QDAUR %d, QDATR %d), %d windows, %d adjustments, %d re-searches",
-			m.UFTQ.Name(), m.UFTQ.Depth(), m.UFTQ.QDAUR(), m.UFTQ.QDATR(), m.UFTQ.Windows, m.UFTQ.Adjustments, m.UFTQ.Researches)
+	if m.mech.Telemetry != nil {
+		m.mech.Telemetry(&r)
 	}
 	if m.obs != nil && m.obs.Life != nil {
 		r.Lifecycle = m.obs.Life.Summary()

@@ -22,45 +22,9 @@ import (
 	"udpsim/internal/workload"
 )
 
-// Mechanism selects the instruction-prefetch policy under evaluation.
-type Mechanism string
-
-// Mechanisms evaluated in the paper.
-const (
-	// MechBaseline is state-of-the-art FDIP with a fixed FTQ (depth 32
-	// unless overridden) — the paper's baseline [28].
-	MechBaseline Mechanism = "baseline"
-	// MechNoPrefetch disables FDIP prefetching.
-	MechNoPrefetch Mechanism = "no-prefetch"
-	// MechPerfectICache makes every instruction fetch hit (Fig. 1).
-	MechPerfectICache Mechanism = "perfect-icache"
-	// MechUFTQAUR / MechUFTQATR / MechUFTQATRAUR are the dynamic FTQ
-	// sizing controllers (Fig. 11/12).
-	MechUFTQAUR    Mechanism = "uftq-aur"
-	MechUFTQATR    Mechanism = "uftq-atr"
-	MechUFTQATRAUR Mechanism = "uftq-atr-aur"
-	// MechUDP is utility-driven prefetching with the 8KB Bloom
-	// useful-set (Fig. 13-17); MechUDPInfinite is its unbounded upper
-	// bound.
-	MechUDP         Mechanism = "udp"
-	MechUDPInfinite Mechanism = "udp-infinite"
-	// MechEIP is the entangled-instruction-prefetcher comparator at an
-	// 8KB metadata budget (Fig. 13).
-	MechEIP Mechanism = "eip"
-	// MechUDPUFTQ composes UDP's candidate filtering with UFTQ-ATR-AUR's
-	// dynamic FTQ sizing — the orthogonal combination the paper suggests
-	// but does not evaluate (ablation extension).
-	MechUDPUFTQ Mechanism = "udp-uftq"
-)
-
-// Mechanisms lists all selectable mechanisms.
-func Mechanisms() []Mechanism {
-	return []Mechanism{
-		MechBaseline, MechNoPrefetch, MechPerfectICache,
-		MechUFTQAUR, MechUFTQATR, MechUFTQATRAUR,
-		MechUDP, MechUDPInfinite, MechEIP, MechUDPUFTQ,
-	}
-}
+// The Mechanism type, its constants, and the plugin registry that
+// replaced the old hand-maintained mechanism switch live in
+// mechanisms.go and registry.go.
 
 // Config is a full simulation configuration. NewConfig supplies the
 // paper's Table II values; tests and sweeps override single fields.
@@ -131,11 +95,12 @@ type Config struct {
 }
 
 // NewConfig returns the Table II configuration for a workload under a
-// mechanism.
+// mechanism. The empty mechanism is normalized to MechBaseline so the
+// two spellings share one result-cache key.
 func NewConfig(w workload.Profile, m Mechanism) Config {
 	return Config{
 		Workload:  w,
-		Mechanism: m,
+		Mechanism: NormalizeMechanism(m),
 
 		MaxInstructions:    2_000_000,
 		WarmupInstructions: 200_000,
@@ -196,11 +161,13 @@ type Machine struct {
 	BE     *backend.Backend
 	Oracle *frontend.OracleStream
 
-	// Mechanism instances (at most one non-nil, except the combined
-	// mechanism which sets both UDP and UFTQ).
-	UFTQ *core.UFTQ
-	UDP  *core.UDP
-	EIP  *eip.EIP
+	// mech is the active mechanism's binding bundle (see registry.go);
+	// the UDP/UFTQ/EIP accessors expose its typed views.
+	mech Bindings
+
+	// resetters is the fixed walk ResetStats takes over every component
+	// that accumulates statistics, assembled at construction.
+	resetters []StatsResetter
 
 	cycle uint64
 
@@ -237,8 +204,14 @@ func NewMachineWithProgram(cfg Config, prog *workload.Program) (*Machine, error)
 // custom architectural instruction source (e.g. a trace replayer); a
 // nil source runs the live executor with cfg.SeedSalt.
 func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.InstrSource) (*Machine, error) {
+	cfg.Mechanism = NormalizeMechanism(cfg.Mechanism)
 	if err := validateGeometry(cfg); err != nil {
 		return nil, err
+	}
+	desc, ok := LookupMechanism(cfg.Mechanism)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown mechanism %q (registered: %s)",
+			cfg.Mechanism, MechanismNames())
 	}
 	m := &Machine{cfg: cfg, prog: prog}
 
@@ -269,8 +242,6 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 	}
 	m.Oracle = frontend.NewOracleStream(src)
 
-	var tuner frontend.Tuner
-	var ext frontend.ExternalPrefetcher
 	feCfg := frontend.Config{
 		FTQPhysMax:     cfg.FTQPhysMax,
 		FTQDepth:       cfg.FTQDepth,
@@ -284,52 +255,16 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 			Policy: cache.LRU, HitLatency: 3,
 		},
 		PredecodeBTBFill: cfg.PredecodeBTBFill,
+		InFlightHint:     cfg.ROBSize,
 	}
 
-	switch cfg.Mechanism {
-	case MechBaseline, "":
-		// Fixed FTQ, no filtering.
-	case MechNoPrefetch:
-		feCfg.NoPrefetch = true
-	case MechPerfectICache:
-		feCfg.PerfectICache = true
-	case MechUFTQAUR:
-		u := cfg.UFTQ
-		u.Mode = core.UFTQAUR
-		m.UFTQ = core.NewUFTQ(u)
-		tuner = m.UFTQ
-	case MechUFTQATR:
-		u := cfg.UFTQ
-		u.Mode = core.UFTQATR
-		m.UFTQ = core.NewUFTQ(u)
-		tuner = m.UFTQ
-	case MechUFTQATRAUR:
-		u := cfg.UFTQ
-		u.Mode = core.UFTQATRAUR
-		m.UFTQ = core.NewUFTQ(u)
-		tuner = m.UFTQ
-	case MechUDP:
-		u := cfg.UDP
-		u.Infinite = false
-		m.UDP = core.NewUDP(u)
-		tuner = m.UDP
-	case MechUDPInfinite:
-		u := cfg.UDP
-		u.Infinite = true
-		m.UDP = core.NewUDP(u)
-		tuner = m.UDP
-	case MechEIP:
-		m.EIP = eip.New(cfg.EIP)
-		ext = m.EIP
-	case MechUDPUFTQ:
-		u := cfg.UFTQ
-		u.Mode = core.UFTQATRAUR
-		comb := core.NewCombined(cfg.UDP, u)
-		m.UDP = comb.UDP
-		m.UFTQ = comb.UFTQ
-		tuner = comb
-	default:
-		return nil, fmt.Errorf("sim: unknown mechanism %q", cfg.Mechanism)
+	bind, err := desc.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building mechanism %q: %w", cfg.Mechanism, err)
+	}
+	m.mech = bind
+	if bind.MutateFrontend != nil {
+		bind.MutateFrontend(&feCfg)
 	}
 
 	m.FE = frontend.New(feCfg, frontend.Deps{
@@ -339,8 +274,8 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 		BTB:      m.BTB,
 		IndirBTB: m.IBTB,
 		Hier:     m.Hier,
-		Tuner:    tuner,
-		External: ext,
+		Tuner:    bind.Tuner,
+		External: bind.External,
 	})
 	m.BE = backend.New(backend.Config{
 		Width:       cfg.Width,
@@ -352,8 +287,29 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 		LoadBuffer:  cfg.LoadBuffer,
 		StoreBuffer: cfg.StoreBuffer,
 	}, m.FE, m.Hier)
+
+	// Everything that accumulates statistics registers a resetter here;
+	// ResetStats walks this list instead of hand-naming fields.
+	m.resetters = []StatsResetter{m.FE, m.BE, m.Hier, m.BTB}
+	if bind.Stats != nil {
+		m.resetters = append(m.resetters, bind.Stats)
+	}
 	return m, nil
 }
+
+// Mech returns the active mechanism's binding bundle.
+func (m *Machine) Mech() Bindings { return m.mech }
+
+// UDP returns the active UDP instance (nil unless a UDP-family
+// mechanism is selected).
+func (m *Machine) UDP() *core.UDP { return m.mech.UDP }
+
+// UFTQ returns the active UFTQ controller (nil unless a UFTQ-family
+// mechanism is selected).
+func (m *Machine) UFTQ() *core.UFTQ { return m.mech.UFTQ }
+
+// EIP returns the active EIP comparator (nil unless mechanism "eip").
+func (m *Machine) EIP() *eip.EIP { return m.mech.EIP }
 
 // validateGeometry checks every cache geometry in the configuration up
 // front and returns an error instead of letting the cache constructors
@@ -459,21 +415,14 @@ func (m *Machine) RunInstructions(n uint64) {
 
 // ResetStats clears all accumulated statistics (end of warmup) while
 // preserving microarchitectural state (caches, predictors, learned
-// sets).
+// sets). It walks the StatsResetter list assembled at construction —
+// frontend, backend, memory hierarchy, BTB, plus whatever the active
+// mechanism registered — so a new component only has to implement
+// ResetStats and join the list.
 func (m *Machine) ResetStats() {
-	m.FE.Stats = frontend.Stats{}
-	m.BE.Stats = backend.Stats{}
-	m.FE.ICache().Stats = cache.Stats{}
-	m.FE.MSHRs().Stats = cache.MSHRStats{}
-	m.Hier.Stats = memory.Stats{}
-	m.Hier.L2.Stats = cache.Stats{}
-	m.Hier.LLC.Stats = cache.Stats{}
-	m.Hier.L1D.Stats = cache.Stats{}
-	m.BTB.Stats = btb.Stats{}
-	m.FE.ResolutionLatency.Reset()
-	m.FE.OccupancyHist.Reset()
-	q := m.FE.Queue()
-	q.OccupancySum, q.OccupancySamples = 0, 0
+	for _, r := range m.resetters {
+		r.ResetStats()
+	}
 	if m.obs != nil {
 		if m.obs.Life != nil {
 			m.obs.Life.Reset()

@@ -19,10 +19,12 @@ type Executor struct {
 	stack []isa.Addr
 
 	// Per-branch instance counters for periodic branches and live loop
-	// iteration state.
-	instCount map[isa.Addr]uint64
-	loopIter  map[isa.Addr]uint32
-	loopGoal  map[isa.Addr]uint32
+	// iteration state, dense slices indexed by CondMeta.Idx so the hot
+	// path never touches a map (zero-alloc Step invariant). loopGoal==0
+	// means "unset": tripFor always returns >= 1.
+	instCount []uint64
+	loopIter  []uint32
+	loopGoal  []uint32
 
 	// Data-address stream state: loads tagged "stream" advance.
 	streamOff uint64
@@ -40,13 +42,15 @@ type Executor struct {
 // multiple independent "simpoints" of the same program: different salts
 // produce different dynamic behaviour over the same static image.
 func NewExecutor(prog *Program, seedSalt uint64) *Executor {
+	n := prog.CondSites()
 	return &Executor{
 		prog:      prog,
 		r:         newRNG(prog.profile.Seed*0x9e3779b97f4a7c15 + seedSalt + 1),
 		pc:        prog.entry,
-		instCount: make(map[isa.Addr]uint64),
-		loopIter:  make(map[isa.Addr]uint32),
-		loopGoal:  make(map[isa.Addr]uint32),
+		stack:     make([]isa.Addr, 0, 64),
+		instCount: make([]uint64, n),
+		loopIter:  make([]uint32, n),
+		loopGoal:  make([]uint32, n),
 		phaseLen:  prog.profile.PhaseLen,
 	}
 }
@@ -125,22 +129,22 @@ func (e *Executor) resolveCond(si *isa.StaticInstr) bool {
 	case CondBiased, CondIID:
 		return e.r.float() < m.PTaken
 	case CondPeriodic:
-		i := e.instCount[si.PC]
-		e.instCount[si.PC] = i + 1
+		i := e.instCount[m.Idx]
+		e.instCount[m.Idx] = i + 1
 		return m.PatternBits>>(i%uint64(m.Period))&1 == 1
 	case CondLoop:
-		iter := e.loopIter[si.PC]
-		goal, ok := e.loopGoal[si.PC]
-		if !ok {
+		iter := e.loopIter[m.Idx]
+		goal := e.loopGoal[m.Idx]
+		if goal == 0 {
 			goal = e.tripFor(m)
-			e.loopGoal[si.PC] = goal
+			e.loopGoal[m.Idx] = goal
 		}
 		if iter+1 < goal {
-			e.loopIter[si.PC] = iter + 1
+			e.loopIter[m.Idx] = iter + 1
 			return true // back edge: continue loop
 		}
-		e.loopIter[si.PC] = 0
-		delete(e.loopGoal, si.PC)
+		e.loopIter[m.Idx] = 0
+		e.loopGoal[m.Idx] = 0 // unset: re-roll the trip next entry
 		return false // exit
 	default:
 		return false

@@ -14,6 +14,11 @@ const ImageBase isa.Addr = 0x400000
 // branch; the executor consults it, the frontend never sees it.
 type CondMeta struct {
 	Behavior CondBehavior
+	// Idx is the dense site index of this conditional (0..CondSites-1),
+	// assigned at generation. The executor keeps its per-site dynamic
+	// state (periodic instance counters, live loop iterations) in flat
+	// slices indexed by Idx so the oracle stream never allocates.
+	Idx int
 	// PTaken is the taken probability for CondBiased / CondIID.
 	PTaken float64
 	// Period and PatternBits define CondPeriodic: instance i is taken
@@ -259,7 +264,7 @@ func (b *builder) emitDiamond(funcID int, levels []int, onCall func(int)) {
 
 	condIdx := b.prog.emit(isa.ClassBranch, isa.BranchCond, 0)
 	b.prog.NumCond++
-	b.prog.conds[b.prog.code[condIdx].PC] = b.condMeta()
+	b.prog.addCond(b.prog.code[condIdx].PC, b.condMeta())
 
 	// THEN arm.
 	b.emitStraight()
@@ -321,7 +326,7 @@ func (b *builder) emitLoop(funcID int, levels []int, onCall func(int)) {
 	if b.p.LoopTripVariable && trip > 2 {
 		meta.TripJitter = trip / 2
 	}
-	b.prog.conds[b.prog.code[backIdx].PC] = meta
+	b.prog.addCond(b.prog.code[backIdx].PC, meta)
 }
 
 // emitCall emits a direct call to a function at a strictly deeper
@@ -449,6 +454,18 @@ func (pr *Program) InImage(pc isa.Addr) bool {
 	}
 	return uint64(pc-ImageBase)/isa.InstrBytes < uint64(len(pr.code))
 }
+
+// addCond registers a conditional branch site, assigning it the next
+// dense site index (used by the executor for slice-backed per-site
+// state instead of map lookups on the hot path).
+func (pr *Program) addCond(pc isa.Addr, m *CondMeta) {
+	m.Idx = len(pr.conds)
+	pr.conds[pc] = m
+}
+
+// CondSites returns the number of conditional branch sites; CondMeta.Idx
+// values are dense in [0, CondSites).
+func (pr *Program) CondSites() int { return len(pr.conds) }
 
 // CondMetaAt exposes conditional behaviour (executor + tests).
 func (pr *Program) CondMetaAt(pc isa.Addr) *CondMeta { return pr.conds[pc] }
