@@ -57,8 +57,21 @@ type Stats struct {
 	// with a non-empty ROB.
 	RetireStallCycles uint64
 	Flushed           uint64 // instructions squashed by recoveries
+	FlushedOnPath     uint64 // on-path instructions squashed (post-recovery refetches)
 	WrongPathExecuted uint64 // wrong-path instructions that entered the ROB
+	// MemRetries counts load/store issue attempts rejected by the memory
+	// hierarchy under MSHR pressure (the instruction re-issues next
+	// cycle).
+	MemRetries uint64
 }
+
+// debugAliasCheck enables an O(ROB) aliasing assertion per decoded
+// instruction (diagnostic only).
+var debugAliasCheck = false
+
+// SetDebugAliasCheck toggles the per-decode ROB aliasing assertion
+// (diagnostic; costs O(ROBSize) per decoded instruction).
+func SetDebugAliasCheck(on bool) { debugAliasCheck = on }
 
 type entryState uint8
 
@@ -279,6 +292,9 @@ func (b *Backend) recoverAt(idx int, cycle uint64) {
 				b.rsBusy--
 			}
 			b.Stats.Flushed++
+			if e.fi.OnPath {
+				b.Stats.FlushedOnPath++
+			}
 			e.valid = false
 			// A squashed instruction has no further readers (worklist
 			// refs are dropped by the valid/gen checks): recycle it.
@@ -327,20 +343,33 @@ func (b *Backend) issue(cycle uint64) {
 				keep = append(keep, ref)
 				continue
 			}
+			l, _, ok := b.hier.DataRequest(b.dataAddr(e.fi), start)
+			if !ok {
+				// MSHR pressure in the hierarchy: nothing was consumed,
+				// the load re-issues next cycle.
+				b.Stats.MemRetries++
+				keep = append(keep, ref)
+				continue
+			}
 			ld--
 			b.inFlightLoads++
-			l, _ := b.hier.DataAccess(b.dataAddr(e.fi), start)
 			lat = l
 		case isa.ClassStore:
 			if st == 0 || b.inFlightStores >= b.cfg.StoreBuffer {
 				keep = append(keep, ref)
 				continue
 			}
+			// Stores retire through the store buffer; model a short
+			// pipeline latency (the dcache write happens post-commit),
+			// but the write-allocate fill still occupies MSHRs and
+			// bandwidth like any other request.
+			if _, _, ok := b.hier.DataRequest(b.dataAddr(e.fi), start); !ok {
+				b.Stats.MemRetries++
+				keep = append(keep, ref)
+				continue
+			}
 			st--
 			b.inFlightStores++
-			// Stores retire through the store buffer; model a short
-			// pipeline latency (the dcache write happens post-commit).
-			b.hier.DataAccess(b.dataAddr(e.fi), start)
 			lat = 1
 		case isa.ClassMul:
 			if alu == 0 {
@@ -403,6 +432,13 @@ func (b *Backend) decode(cycle uint64) {
 		fi := b.fe.PopDecode()
 		if fi == nil {
 			return
+		}
+		if debugAliasCheck {
+			for i := range b.rob {
+				if b.rob[i].valid && b.rob[i].fi == fi {
+					panic("backend: decoded instruction aliases a live ROB entry (double pool release)")
+				}
+			}
 		}
 		if !fi.OnPath {
 			b.Stats.WrongPathExecuted++

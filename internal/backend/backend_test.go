@@ -7,6 +7,7 @@ package backend_test
 import (
 	"testing"
 
+	"udpsim/internal/backend"
 	"udpsim/internal/frontend"
 	"udpsim/internal/isa"
 	"udpsim/internal/sim"
@@ -129,4 +130,23 @@ func TestLoadsAccessDataHierarchy(t *testing.T) {
 		t.Error("no L1D hits — data locality model broken")
 	}
 	_ = isa.Addr(0)
+}
+
+// TestNoROBAliasingUnderFlushes pins the instruction-pool ownership
+// discipline: with the O(ROB) aliasing assertion enabled, no decoded
+// instruction may reuse the storage of one still live in the ROB (a
+// double pool release would do exactly that after a recovery flush).
+// Run under a mechanism and MSHR pressure that maximize flush traffic.
+func TestNoROBAliasingUnderFlushes(t *testing.T) {
+	backend.SetDebugAliasCheck(true)
+	defer backend.SetDebugAliasCheck(false)
+	m := machine(t, func(cfg *sim.Config) {
+		cfg.Mechanism = sim.MechUDP
+		cfg.L2MSHRs = 4
+		cfg.LLCMSHRs = 4
+	})
+	r := m.Run() // panics inside decode on aliasing
+	if r.Recoveries == 0 {
+		t.Error("no recoveries — the aliasing check never saw a flush")
+	}
 }

@@ -36,18 +36,26 @@ type MSHRStats struct {
 	Completions         uint64
 }
 
-// MSHRFile is a fixed-capacity collection of MSHRs.
+// MSHRFile is a fixed-capacity collection of MSHRs. Occupancy and the
+// earliest in-flight completion cycle are tracked incrementally so the
+// per-cycle Completed sweep is O(1) when nothing can complete — the
+// file sits on the simulator's hot loop at every cache level.
 type MSHRFile struct {
-	entries []MSHR
-	Stats   MSHRStats
+	entries   []MSHR
+	occupied  int
+	nextReady uint64 // earliest ReadyCycle among valid entries (neverReady when empty)
+	Stats     MSHRStats
 }
+
+// neverReady is the nextReady sentinel for an empty file.
+const neverReady = ^uint64(0)
 
 // NewMSHRFile builds a file with n entries.
 func NewMSHRFile(n int) *MSHRFile {
 	if n <= 0 {
 		panic("cache: MSHR file needs at least one entry")
 	}
-	return &MSHRFile{entries: make([]MSHR, n)}
+	return &MSHRFile{entries: make([]MSHR, n), nextReady: neverReady}
 }
 
 // Lookup returns the in-flight entry for lineAddr, or nil.
@@ -77,6 +85,10 @@ func (f *MSHRFile) Allocate(lineAddr isa.Addr, issue, ready uint64, prefetch, of
 			if prefetch {
 				f.Stats.PrefetchAllocations++
 			}
+			f.occupied++
+			if ready < f.nextReady {
+				f.nextReady = ready
+			}
 			return &f.entries[i]
 		}
 	}
@@ -96,34 +108,46 @@ func (f *MSHRFile) MergeDemand(m *MSHR) uint64 {
 
 // Completed collects entries whose fills have arrived by cycle, invoking
 // install for each and freeing them. The install callback receives the
-// finished entry by value.
+// finished entry by value. The sweep is skipped entirely when no entry
+// can have completed (the common per-cycle case).
 func (f *MSHRFile) Completed(cycle uint64, install func(MSHR)) {
+	if f.occupied == 0 || cycle < f.nextReady {
+		return
+	}
+	// Recompute from scratch: reset to the sentinel so an install
+	// callback that re-Allocates into this file lowers it via Allocate,
+	// then fold in the minimum over the surviving entries below.
+	f.nextReady = neverReady
+	next := uint64(neverReady)
 	for i := range f.entries {
-		if f.entries[i].Valid && f.entries[i].ReadyCycle <= cycle {
+		if !f.entries[i].Valid {
+			continue
+		}
+		if f.entries[i].ReadyCycle <= cycle {
 			e := f.entries[i]
 			f.entries[i].Valid = false
+			f.occupied--
 			f.Stats.Completions++
 			install(e)
+			continue
 		}
+		if f.entries[i].ReadyCycle < next {
+			next = f.entries[i].ReadyCycle
+		}
+	}
+	if next < f.nextReady {
+		f.nextReady = next
 	}
 }
 
 // Occupancy returns the number of in-flight entries.
-func (f *MSHRFile) Occupancy() int {
-	n := 0
-	for i := range f.entries {
-		if f.entries[i].Valid {
-			n++
-		}
-	}
-	return n
-}
+func (f *MSHRFile) Occupancy() int { return f.occupied }
 
 // Capacity returns the file size.
 func (f *MSHRFile) Capacity() int { return len(f.entries) }
 
 // Full reports whether no entry is free.
-func (f *MSHRFile) Full() bool { return f.Occupancy() == len(f.entries) }
+func (f *MSHRFile) Full() bool { return f.occupied == len(f.entries) }
 
 // Flush drops all in-flight entries (used only by tests and machine
 // reset; real fills are never cancelled mid-flight by the frontend).
@@ -131,4 +155,6 @@ func (f *MSHRFile) Flush() {
 	for i := range f.entries {
 		f.entries[i].Valid = false
 	}
+	f.occupied = 0
+	f.nextReady = neverReady
 }

@@ -71,6 +71,31 @@ func TestRegistryConformance(t *testing.T) {
 			if r.IPC <= 0.05 || r.IPC > 6 {
 				t.Errorf("implausible IPC %.3f", r.IPC)
 			}
+
+			// Counter-sanity invariant of the memory request path: over
+			// an unreset window (warmup must be zero — ResetStats wipes
+			// the request side of in-flight fills) every line a level
+			// installed must trace back to a surviving fill request:
+			// fills == requests − merges − drops − retries, per level,
+			// and every MSHR allocation must complete once drained. A
+			// mechanism whose prefetcher bypassed the request path would
+			// break the ledger here.
+			icfg := cfg
+			icfg.MaxInstructions = 30_000
+			icfg.WarmupInstructions = 0
+			prog, err := sim.SharedImage(icfg.Workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.NewMachineWithProgram(icfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run()
+			m.Hier.Drain()
+			if err := m.Hier.CheckCounters(); err != nil {
+				t.Errorf("counter-sanity invariant: %v", err)
+			}
 		})
 	}
 

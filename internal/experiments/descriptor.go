@@ -47,6 +47,16 @@ type ConfigSpec struct {
 	BTB        int `json:"btb,omitempty"`
 	ICacheKB   int `json:"icache_kb,omitempty"`
 	ICacheWays int `json:"icache_ways,omitempty"`
+	// Memory request-path geometry: per-level MSHR file sizes and fill
+	// bandwidth (cycles between line installs at a level).
+	L1DMSHRs      int `json:"l1d_mshrs,omitempty"`
+	L2MSHRs       int `json:"l2_mshrs,omitempty"`
+	LLCMSHRs      int `json:"llc_mshrs,omitempty"`
+	L2FillCycles  int `json:"l2_fill_cycles,omitempty"`
+	LLCFillCycles int `json:"llc_fill_cycles,omitempty"`
+	// DRAM prefetch throttle backlog in cycles; negative disables the
+	// throttle, zero keeps the default (64 DRAM burst slots).
+	DRAMPrefetchBacklog int `json:"dram_prefetch_backlog,omitempty"`
 }
 
 // ParseDescriptor reads and validates a JSON descriptor.
@@ -160,6 +170,24 @@ func RunDescriptorObserved(d *Descriptor, progress func(string), parallelism int
 		}
 		if c.spec.ICacheWays > 0 {
 			cfg.ICacheWays = c.spec.ICacheWays
+		}
+		if c.spec.L1DMSHRs > 0 {
+			cfg.L1DMSHRs = c.spec.L1DMSHRs
+		}
+		if c.spec.L2MSHRs > 0 {
+			cfg.L2MSHRs = c.spec.L2MSHRs
+		}
+		if c.spec.LLCMSHRs > 0 {
+			cfg.LLCMSHRs = c.spec.LLCMSHRs
+		}
+		if c.spec.L2FillCycles > 0 {
+			cfg.L2FillCycles = c.spec.L2FillCycles
+		}
+		if c.spec.LLCFillCycles > 0 {
+			cfg.LLCFillCycles = c.spec.LLCFillCycles
+		}
+		if c.spec.DRAMPrefetchBacklog != 0 { // negative = disable
+			cfg.DRAMPrefetchBacklog = c.spec.DRAMPrefetchBacklog
 		}
 		_, agg, err := sim.RunSimpointsObserved(cfg, d.Simpoints, 1, attach)
 		if err != nil {

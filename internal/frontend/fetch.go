@@ -106,12 +106,22 @@ func (f *Frontend) considerPrefetch(line isa.Addr, fb *FetchBlock, cycle uint64)
 	}
 }
 
-// emitPrefetch issues a prefetch fill for line.
+// emitPrefetch issues a prefetch fill for line through the shared
+// request path. It is dropped (counted) when the L1I MSHR file is full
+// or the hierarchy rejects it under L2/LLC MSHR pressure — nothing is
+// charged to DRAM or the fill ports for a dropped prefetch.
 func (f *Frontend) emitPrefetch(line isa.Addr, offPath bool, cycle uint64) {
-	ready, _ := f.hier.InstrFill(line, cycle)
-	if f.mshrs.Allocate(line, cycle, ready, true, offPath) == nil {
-		return // MSHR pressure: prefetch dropped
+	if f.mshrs.Full() {
+		f.mshrs.Stats.AllocFailures++
+		f.Stats.PrefetchBackpressure++
+		return
 	}
+	ready, _, ok := f.hier.InstrRequest(line, cycle, true)
+	if !ok {
+		f.Stats.PrefetchBackpressure++
+		return
+	}
+	f.mshrs.Allocate(line, cycle, ready, true, offPath)
 	f.Stats.PrefetchesEmitted++
 	if offPath {
 		f.Stats.PrefetchesOffPath++
@@ -235,11 +245,20 @@ func (f *Frontend) accessBlockLine(fb *FetchBlock, cycle uint64) bool {
 		f.notifyExternal(line, false, cycle)
 		return true
 	}
-	// Full demand miss.
-	ready, _ := f.hier.InstrFill(line, cycle)
-	if f.mshrs.Allocate(line, cycle, ready, false, false) == nil {
+	// Full demand miss: reserve the L1I MSHR first, then ask the shared
+	// hierarchy. A rejection at either point leaves no side effects (no
+	// phantom DRAM traffic) so the identical access retries next cycle.
+	if f.mshrs.Full() {
+		f.mshrs.Stats.AllocFailures++
+		f.Stats.DemandMissRetries++
 		return false
 	}
+	ready, _, ok := f.hier.InstrRequest(line, cycle, false)
+	if !ok {
+		f.Stats.DemandMissRetries++
+		return false
+	}
+	f.mshrs.Allocate(line, cycle, ready, false, false)
 	f.blockReady = ready
 	f.lastDemandLine = line
 	f.Stats.DemandMisses++

@@ -107,7 +107,15 @@ func TestTinyMSHRFilePressure(t *testing.T) {
 	if fe.MSHRs().Stats.AllocFailures == 0 {
 		t.Error("single-entry MSHR file never filled")
 	}
-	if c.retired < 5_000 {
+	// With fill-time visibility a rejected demand miss leaves no trace
+	// in L2/LLC, so a single MSHR serializes cold lines at full DRAM
+	// latency (~186 cycles/line). The check guards liveness — the
+	// frontend must keep draining retries, not deadlock — rather than
+	// throughput.
+	if c.retired < 1_000 {
 		t.Errorf("frontend starved under MSHR pressure: %d", c.retired)
+	}
+	if fe.Stats.DemandMissRetries == 0 {
+		t.Error("MSHR pressure produced no demand-miss retries")
 	}
 }

@@ -65,21 +65,23 @@ type Stats struct {
 	FTQEmptyCycles uint64
 
 	// Prefetch accounting (ground-truth path attribution).
-	PrefetchesEmitted   uint64
-	PrefetchesOnPath    uint64
-	PrefetchesOffPath   uint64
-	PrefetchesDropped   uint64 // dropped by UDP filtering
-	PrefetchesMerged    uint64 // candidate already in flight
-	PrefetchUseful      uint64
-	PrefetchUsefulOff   uint64
-	PrefetchUseless     uint64
-	PrefetchUselessOff  uint64
-	SuperLinePrefetches uint64 // extra lines emitted via 2-/4-block hits
+	PrefetchesEmitted    uint64
+	PrefetchesOnPath     uint64
+	PrefetchesOffPath    uint64
+	PrefetchesDropped    uint64 // dropped by UDP filtering
+	PrefetchesMerged     uint64 // candidate already in flight
+	PrefetchBackpressure uint64 // dropped by MSHR/bandwidth pressure (L1I file or shared L2/LLC ports)
+	PrefetchUseful       uint64
+	PrefetchUsefulOff    uint64
+	PrefetchUseless      uint64
+	PrefetchUselessOff   uint64
+	SuperLinePrefetches  uint64 // extra lines emitted via 2-/4-block hits
 
 	// Demand fetch timeliness (paper Section III-C).
 	DemandIcacheHits  uint64
 	DemandFillBufHits uint64
 	DemandMisses      uint64
+	DemandMissRetries uint64 // demand miss rejected under MSHR pressure, retried next cycle
 	FetchStallCycles  uint64
 
 	// Divergences and resteers.

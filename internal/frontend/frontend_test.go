@@ -55,6 +55,11 @@ type scalarConsumer struct {
 }
 
 func (c *scalarConsumer) cycle(cycle uint64) {
+	// Drive fill completions: in the full machine Machine.Step ticks
+	// the hierarchy every cycle; standalone frontend tests must do it
+	// themselves, or in-flight fills never land and the MSHR files
+	// back-pressure the fetcher forever.
+	c.fe.hier.Tick(cycle)
 	if c.pending != nil {
 		if cycle < c.resolveAt {
 			return

@@ -21,71 +21,194 @@ func testConfig() Config {
 
 func ln(i int) isa.Addr { return isa.Addr(0x400000 + i*isa.LineBytes) }
 
-func TestInstrFillColdGoesToDRAM(t *testing.T) {
-	h := New(testConfig())
-	ready, level := h.InstrFill(ln(1), 100)
-	if level != LevelDRAM {
-		t.Fatalf("cold fill from %v", level)
-	}
-	// LLC latency + DRAM latency.
-	if ready != 100+36+150 {
-		t.Errorf("ready = %d, want %d", ready, 100+36+150)
-	}
-	if h.Stats.InstrDRAMFills != 1 {
-		t.Errorf("stats %+v", h.Stats)
+// checkInvariant drains the hierarchy and fails the test if the
+// conservation counters do not balance.
+func checkInvariant(t *testing.T, h *Hierarchy) {
+	t.Helper()
+	h.Drain()
+	if err := h.CheckCounters(); err != nil {
+		t.Fatal(err)
 	}
 }
 
-func TestInstrFillHitsL2AfterFirstFill(t *testing.T) {
+func TestInstrRequestColdGoesToDRAM(t *testing.T) {
 	h := New(testConfig())
-	h.InstrFill(ln(1), 100)
-	ready, level := h.InstrFill(ln(1), 500)
-	if level != LevelL2 {
-		t.Fatalf("refill from %v, want L2", level)
+	ready, level, ok := h.InstrRequest(ln(1), 100, false)
+	if !ok {
+		t.Fatal("cold request rejected")
+	}
+	if level != LevelDRAM {
+		t.Fatalf("cold fill from %v", level)
+	}
+	// LLC latency + DRAM latency (uncontended ports add nothing).
+	if ready != 100+36+150 {
+		t.Errorf("ready = %d, want %d", ready, 100+36+150)
+	}
+	if h.Stats.InstrDRAMFills != 1 || h.Stats.DRAMBursts != 1 {
+		t.Errorf("stats %+v", h.Stats)
+	}
+	checkInvariant(t, h)
+}
+
+// TestLineNotVisibleUntilFillCompletes is the regression test for the
+// allocation-time-install bug: a same-line access one cycle after a
+// DRAM miss must merge into the in-flight fill (and wait), not hit a
+// cache, and only after the fill-completion Tick may the line hit.
+func TestLineNotVisibleUntilFillCompletes(t *testing.T) {
+	h := New(testConfig())
+	ready, _, ok := h.InstrRequest(ln(1), 100, false)
+	if !ok {
+		t.Fatal("cold request rejected")
+	}
+	if h.L2.Lookup(ln(1)) || h.LLC.Lookup(ln(1)) {
+		t.Fatal("line visible in a cache at request time (fill has not completed)")
+	}
+	// One cycle later: the line must NOT be an L2/LLC hit; it merges.
+	r2, _, ok := h.InstrRequest(ln(1), 101, false)
+	if !ok {
+		t.Fatal("secondary miss rejected")
+	}
+	if h.Stats.L2.Merges != 1 {
+		t.Fatalf("secondary miss did not merge: %+v", h.Stats.L2)
+	}
+	if r2 < ready {
+		t.Errorf("merged access ready %d before the fill's data arrives %d", r2, ready)
+	}
+	if h.Stats.DRAMBursts != 1 {
+		t.Errorf("secondary miss re-accessed DRAM: %d bursts", h.Stats.DRAMBursts)
+	}
+	// Ticking up to (but not including) the fill completion keeps the
+	// line invisible.
+	h.Tick(ready - 1)
+	if h.L2.Lookup(ln(1)) {
+		t.Fatal("line visible one cycle before its fill completes")
+	}
+	h.Tick(ready)
+	if !h.L2.Lookup(ln(1)) {
+		t.Fatal("line not installed at fill completion")
+	}
+	// Now it is a genuine L2 hit with hit latency.
+	r3, level, ok := h.InstrRequest(ln(1), ready+10, false)
+	if !ok || level != LevelL2 || r3 != ready+10+13 {
+		t.Fatalf("post-fill access: ready %d level %v ok %v", r3, level, ok)
+	}
+	checkInvariant(t, h)
+}
+
+func TestInstrRequestHitsL2AfterFillCompletes(t *testing.T) {
+	h := New(testConfig())
+	h.InstrRequest(ln(1), 100, false)
+	h.Drain()
+	ready, level, ok := h.InstrRequest(ln(1), 500, false)
+	if !ok || level != LevelL2 {
+		t.Fatalf("refill from %v (ok=%v), want L2", level, ok)
 	}
 	if ready != 500+13 {
 		t.Errorf("ready = %d", ready)
 	}
 }
 
-func TestInstrFillLLCPath(t *testing.T) {
+func TestInstrRequestLLCPath(t *testing.T) {
 	cfg := testConfig()
 	// Tiny L2 so the line falls out of it but stays in the LLC.
 	cfg.L2.SizeBytes = 2 * 64 * 2
 	cfg.L2.Ways = 2
 	h := New(cfg)
-	h.InstrFill(ln(0), 1)
-	// Blow the L2 (2 sets × 2 ways): four conflicting lines.
+	h.InstrRequest(ln(0), 1, false)
+	h.Drain()
+	// Blow the L2 (2 sets × 2 ways): conflicting same-set lines.
 	for i := 1; i <= 8; i++ {
-		h.InstrFill(ln(i*2), uint64(i*10)) // same-set stride for set 0
+		h.InstrRequest(ln(i*2), uint64(1000+i*1000), false)
+		h.Drain()
 	}
-	_, level := h.InstrFill(ln(0), 1000)
-	if level != LevelLLC {
-		t.Fatalf("fill from %v, want LLC", level)
+	_, level, ok := h.InstrRequest(ln(0), 100_000, false)
+	if !ok || level != LevelLLC {
+		t.Fatalf("fill from %v (ok=%v), want LLC", level, ok)
 	}
+	checkInvariant(t, h)
 }
 
-func TestDataAccessLevels(t *testing.T) {
+func TestDataRequestLevels(t *testing.T) {
 	h := New(testConfig())
-	lat, level := h.DataAccess(0x1000_0000, 10)
-	if level != LevelDRAM {
-		t.Fatalf("cold data access from %v", level)
+	lat, level, ok := h.DataRequest(0x1000_0000, 10)
+	if !ok || level != LevelDRAM {
+		t.Fatalf("cold data access from %v (ok=%v)", level, ok)
 	}
 	if lat < 150 {
 		t.Errorf("cold latency %d too small", lat)
 	}
-	lat, level = h.DataAccess(0x1000_0000, 400)
-	if level != LevelL1 || lat != 4 {
-		t.Fatalf("warm access: %d cycles from %v", lat, level)
+	// Before the fill completes the line is NOT an L1 cache hit; it is
+	// a fill-buffer merge that waits out the remainder.
+	lat2, level, ok := h.DataRequest(0x1000_0000, 11)
+	if !ok || level != LevelL1 {
+		t.Fatalf("merge access from %v", level)
 	}
+	if lat2 < lat-1-4 {
+		t.Errorf("merged access latency %d shorter than the in-flight remainder (first %d)", lat2, lat)
+	}
+	if h.Stats.L1D.Merges != 1 {
+		t.Fatalf("no L1D merge recorded: %+v", h.Stats.L1D)
+	}
+	h.Drain()
+	lat3, level, ok := h.DataRequest(0x1000_0000, 4000)
+	if !ok || level != LevelL1 || lat3 != 4 {
+		t.Fatalf("warm access: %d cycles from %v", lat3, level)
+	}
+	checkInvariant(t, h)
+}
+
+func TestMSHRBackpressureDemandRetriesPrefetchDrops(t *testing.T) {
+	cfg := testConfig()
+	cfg.L2MSHRs = 1
+	h := New(cfg)
+	if _, _, ok := h.InstrRequest(ln(1), 100, false); !ok {
+		t.Fatal("first request rejected")
+	}
+	// The single L2 MSHR is busy: a demand to a different line must be
+	// rejected (retry), a prefetch must be dropped; neither touches DRAM.
+	if _, _, ok := h.InstrRequest(ln(2), 101, false); ok {
+		t.Fatal("demand accepted with a full L2 MSHR file")
+	}
+	if h.Stats.L2.Retries != 1 {
+		t.Fatalf("demand rejection not counted as retry: %+v", h.Stats.L2)
+	}
+	if _, _, ok := h.InstrRequest(ln(3), 102, true); ok {
+		t.Fatal("prefetch accepted with a full L2 MSHR file")
+	}
+	if h.Stats.L2.Drops != 1 {
+		t.Fatalf("prefetch rejection not counted as drop: %+v", h.Stats.L2)
+	}
+	if h.Stats.DRAMBursts != 1 {
+		t.Fatalf("rejected requests reached DRAM: %d bursts", h.Stats.DRAMBursts)
+	}
+	// After the in-flight fill completes, the retry succeeds.
+	h.Drain()
+	if _, _, ok := h.InstrRequest(ln(2), 10_000, false); !ok {
+		t.Fatal("retry after drain rejected")
+	}
+	checkInvariant(t, h)
+}
+
+func TestLLCMSHRBackpressureMirrorsToL2(t *testing.T) {
+	cfg := testConfig()
+	cfg.LLCMSHRs = 1
+	h := New(cfg)
+	h.InstrRequest(ln(1), 100, false)
+	if _, _, ok := h.InstrRequest(ln(2), 101, false); ok {
+		t.Fatal("demand accepted with a full LLC MSHR file")
+	}
+	if h.Stats.LLC.Retries != 1 || h.Stats.L2.Retries != 1 {
+		t.Fatalf("LLC rejection not mirrored: L2 %+v LLC %+v", h.Stats.L2, h.Stats.LLC)
+	}
+	checkInvariant(t, h)
 }
 
 func TestDRAMQueueing(t *testing.T) {
 	h := New(testConfig())
 	// Two back-to-back cold fills: the second queues behind the first's
 	// burst occupancy.
-	r1, _ := h.InstrFill(ln(1), 100)
-	r2, _ := h.InstrFill(ln(2), 100)
+	r1, _, _ := h.InstrRequest(ln(1), 100, false)
+	r2, _, _ := h.InstrRequest(ln(2), 100, false)
 	if r2 <= r1 {
 		t.Errorf("no queueing: %d then %d", r1, r2)
 	}
@@ -95,27 +218,174 @@ func TestDRAMQueueing(t *testing.T) {
 	if h.Stats.DRAMQueueCycles == 0 {
 		t.Error("queue cycles not recorded")
 	}
+	checkInvariant(t, h)
 }
 
-func TestStreamPrefetcher(t *testing.T) {
+// TestDRAMQueueFairness drives alternating instruction and data misses
+// into the shared channel in one cycle: they serialize in arrival order
+// with one burst of spacing each, regardless of requester class.
+func TestDRAMQueueFairness(t *testing.T) {
+	h := New(testConfig())
+	var readies []uint64
+	for i := 0; i < 6; i++ {
+		var r uint64
+		var ok bool
+		if i%2 == 0 {
+			r, _, ok = h.InstrRequest(ln(100+i), 50, false)
+		} else {
+			var lat uint64
+			lat, _, ok = h.DataRequest(isa.Addr(0x3000_0000+i*isa.LineBytes), 50)
+			r = 50 + lat
+		}
+		if !ok {
+			t.Fatalf("request %d rejected", i)
+		}
+		readies = append(readies, r)
+	}
+	for i := 1; i < len(readies); i++ {
+		d := readies[i] - readies[i-1]
+		if d != 10 {
+			t.Errorf("arrival %d→%d spacing %d, want one 10-cycle burst (FCFS regardless of instr/data)", i-1, i, d)
+		}
+	}
+	if h.Stats.DRAMBursts != 6 {
+		t.Errorf("DRAM bursts = %d, want 6", h.Stats.DRAMBursts)
+	}
+	checkInvariant(t, h)
+}
+
+// TestDRAMBacklogThrottlesPrefetches pins the memory-controller
+// prefetch throttle: once the channel backlog exceeds
+// DRAMPrefetchBacklog cycles, further prefetches are dropped (counted
+// in DRAMPrefetchDrops and the per-level Drops ledger) while demands
+// still queue normally.
+func TestDRAMBacklogThrottlesPrefetches(t *testing.T) {
+	cfg := testConfig()
+	cfg.DRAMPrefetchBacklog = 25 // two 10-cycle bursts of slack, then drop
+	h := New(cfg)
+	var accepted int
+	for i := 0; i < 6; i++ {
+		if _, _, ok := h.InstrRequest(ln(200+i), 100, true); ok {
+			accepted++
+		}
+	}
+	// Backlog after k accepted same-cycle prefetches is 10k cycles:
+	// k=0,1,2 pass (0,10,20 ≤ 25), the rest are shed.
+	if accepted != 3 {
+		t.Errorf("accepted %d prefetches, want 3", accepted)
+	}
+	if h.Stats.DRAMPrefetchDrops != 3 {
+		t.Errorf("DRAMPrefetchDrops = %d, want 3", h.Stats.DRAMPrefetchDrops)
+	}
+	if h.Stats.LLC.Drops < 3 || h.Stats.L2.Drops < 3 {
+		t.Errorf("per-level drop ledger missed throttle drops: LLC %d, L2 %d",
+			h.Stats.LLC.Drops, h.Stats.L2.Drops)
+	}
+	// Demands are never throttled: one more miss at the same cycle
+	// queues behind the accepted bursts instead of being rejected.
+	if _, level, ok := h.InstrRequest(ln(299), 100, false); !ok || level != LevelDRAM {
+		t.Errorf("demand rejected under prefetch throttle (ok=%v level=%v)", ok, level)
+	}
+	checkInvariant(t, h)
+
+	// Negative disables the throttle entirely.
+	cfg.DRAMPrefetchBacklog = -1
+	h2 := New(cfg)
+	for i := 0; i < 6; i++ {
+		if _, _, ok := h2.InstrRequest(ln(200+i), 100, true); !ok {
+			t.Fatalf("prefetch %d rejected with throttle disabled", i)
+		}
+	}
+	if h2.Stats.DRAMPrefetchDrops != 0 {
+		t.Errorf("disabled throttle still dropped %d", h2.Stats.DRAMPrefetchDrops)
+	}
+	checkInvariant(t, h2)
+}
+
+func TestFillPortBandwidth(t *testing.T) {
+	cfg := testConfig()
+	cfg.L2FillCycles = 20 // capacity: 64/20 = 3 fills per 64-cycle window
+	h := New(cfg)
+	var readies []uint64
+	for i := 0; i < 4; i++ {
+		r, _, ok := h.InstrRequest(ln(100+i), 100, false)
+		if !ok {
+			t.Fatalf("request %d rejected", i)
+		}
+		readies = append(readies, r)
+	}
+	// DRAM serializes the four fills 10 cycles apart (286, 296, 306,
+	// 316); the L2 fill port admits only three per 64-cycle window, so
+	// the first three keep DRAM spacing and the fourth spills to the
+	// next aligned window boundary.
+	for i := 1; i < 3; i++ {
+		if readies[i]-readies[i-1] != 10 {
+			t.Errorf("arrival %d→%d spacing %d, want 10 (within port window)", i-1, i, readies[i]-readies[i-1])
+		}
+	}
+	if readies[3] <= readies[2]+10 {
+		t.Errorf("fourth fill not port-limited: %v", readies)
+	}
+	if readies[3]%fillWindow != 0 {
+		t.Errorf("spilled fill at %d, want an aligned %d-cycle window boundary", readies[3], fillWindow)
+	}
+	if h.Stats.L2.FillQueueCycles == 0 {
+		t.Error("fill-port queueing not recorded")
+	}
+	checkInvariant(t, h)
+}
+
+func TestStreamPrefetcherGoesThroughRequestPath(t *testing.T) {
 	cfg := testConfig()
 	cfg.StreamPrefetcher = true
 	cfg.StreamDistance = 4
 	h := New(cfg)
 	base := isa.Addr(0x2000_0000)
-	// Walk an ascending line stream; after two stride hits the
-	// prefetcher should run ahead.
+	// Walk an ascending line stream, ticking fills to completion between
+	// accesses; after two stride hits the prefetcher runs ahead.
 	for i := 0; i < 8; i++ {
-		h.DataAccess(base+isa.Addr(i*isa.LineBytes), uint64(i*100))
+		cyc := uint64(1000 + i*1000)
+		h.Tick(cyc)
+		h.DataRequest(base+isa.Addr(i*isa.LineBytes), cyc)
 	}
 	if h.Stats.StreamPrefetches == 0 {
 		t.Fatal("stream prefetcher never fired")
 	}
-	// The next line in the stream should now hit L1D.
-	lat, level := h.DataAccess(base+isa.Addr(8*isa.LineBytes), 10_000)
-	if level != LevelL1 {
+	// Stream prefetches are charged to the same DRAM channel as demands:
+	// bursts must exceed the demand-only count.
+	demandDRAM := h.Stats.DataDRAMFills
+	if h.Stats.DRAMBursts <= demandDRAM {
+		t.Errorf("stream prefetches free-ride: %d bursts for %d demand DRAM fills",
+			h.Stats.DRAMBursts, demandDRAM)
+	}
+	// The next line in the stream should now hit L1D (after completion).
+	h.Drain()
+	lat, level, ok := h.DataRequest(base+isa.Addr(8*isa.LineBytes), 100_000)
+	if !ok || level != LevelL1 {
 		t.Errorf("stream next access from %v (lat %d), want L1", level, lat)
 	}
+	checkInvariant(t, h)
+}
+
+func TestStreamPrefetchDroppedUnderPressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = true
+	cfg.StreamDistance = 4
+	cfg.L1DMSHRs = 4
+	h := New(cfg)
+	base := isa.Addr(0x2000_0000)
+	// Drain before each demand so the demand itself always has a free
+	// MSHR; the stream prefetcher's 4-line runahead burst then lands in
+	// a file with only 3 free entries, so at least one prefetch per
+	// burst is dropped.
+	for i := 0; i < 8; i++ {
+		h.Drain()
+		h.DataRequest(base+isa.Addr(i*isa.LineBytes), uint64(1000+i*1000))
+	}
+	if h.Stats.StreamPrefetchDrops == 0 {
+		t.Fatalf("no stream prefetch drops under a 2-entry L1D MSHR file: %+v", h.Stats)
+	}
+	checkInvariant(t, h)
 }
 
 func TestStreamPrefetcherIgnoresRandom(t *testing.T) {
@@ -125,11 +395,55 @@ func TestStreamPrefetcherIgnoresRandom(t *testing.T) {
 	r := uint64(1)
 	for i := 0; i < 64; i++ {
 		r = r*6364136223846793005 + 1442695040888963407
-		h.DataAccess(isa.Addr(0x2000_0000+r%(1<<24))&^63, uint64(i*50))
+		cyc := uint64(1000 + i*1000)
+		h.Tick(cyc)
+		h.DataRequest(isa.Addr(0x2000_0000+r%(1<<24))&^63, cyc)
 	}
 	if h.Stats.StreamPrefetches > 16 {
 		t.Errorf("random access pattern triggered %d stream prefetches", h.Stats.StreamPrefetches)
 	}
+	checkInvariant(t, h)
+}
+
+func TestCheckCountersRequiresDrain(t *testing.T) {
+	h := New(testConfig())
+	h.InstrRequest(ln(1), 100, false)
+	if err := h.CheckCounters(); err == nil {
+		t.Fatal("CheckCounters accepted in-flight fills without a drain")
+	}
+	h.Drain()
+	if err := h.CheckCounters(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCountersMixedTraffic(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = true
+	cfg.L2MSHRs = 4
+	cfg.LLCMSHRs = 4
+	cfg.L1DMSHRs = 4
+	h := New(cfg)
+	r := uint64(7)
+	for i := 0; i < 400; i++ {
+		cyc := uint64(10 + i*17)
+		if i%3 == 0 {
+			h.Tick(cyc) // partial, irregular draining
+		}
+		r = r*6364136223846793005 + 1442695040888963407
+		switch i % 4 {
+		case 0:
+			h.InstrRequest(isa.Addr(0x40_0000+(r%(1<<18)))&^63, cyc, false)
+		case 1:
+			h.InstrRequest(isa.Addr(0x40_0000+(r%(1<<18)))&^63, cyc, true)
+		case 2:
+			h.DataRequest(isa.Addr(0x2000_0000+(r%(1<<20)))&^63, cyc)
+		case 3:
+			// Ascending stream region to exercise the stream prefetcher.
+			h.DataRequest(isa.Addr(0x5000_0000+uint64(i/4)*64), cyc)
+		}
+	}
+	checkInvariant(t, h)
 }
 
 func TestLevelString(t *testing.T) {
@@ -137,5 +451,20 @@ func TestLevelString(t *testing.T) {
 		if l.String() == "" {
 			t.Errorf("empty string for level %d", l)
 		}
+	}
+}
+
+func TestReqKindString(t *testing.T) {
+	for _, k := range []ReqKind{ReqInstrDemand, ReqInstrPrefetch, ReqDataDemand, ReqDataPrefetch, ReqKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+	if !ReqInstrPrefetch.IsPrefetch() || !ReqDataPrefetch.IsPrefetch() ||
+		ReqInstrDemand.IsPrefetch() || ReqDataDemand.IsPrefetch() {
+		t.Error("IsPrefetch misclassifies")
+	}
+	if !ReqInstrDemand.IsInstr() || ReqDataDemand.IsInstr() {
+		t.Error("IsInstr misclassifies")
 	}
 }

@@ -41,6 +41,17 @@ type IntervalSample struct {
 	Accuracy float64 `json:"accuracy"`
 	// Emitted is the number of prefetches emitted this interval.
 	Emitted uint64 `json:"emitted"`
+
+	// Memory-system pressure over this interval (request-based
+	// hierarchy). DRAMQueueCycles is the total cycles requests waited
+	// behind the busy DRAM channel; FillQueueCycles the same for the
+	// per-level fill ports; DemandRetries counts demand requests
+	// rejected under MSHR pressure (each retried the next cycle);
+	// PrefetchDrops counts prefetches dropped under MSHR pressure.
+	DRAMQueueCycles uint64 `json:"dram_queue_cycles"`
+	FillQueueCycles uint64 `json:"fill_queue_cycles"`
+	DemandRetries   uint64 `json:"demand_retries"`
+	PrefetchDrops   uint64 `json:"prefetch_drops"`
 }
 
 // csvHeader is the column order of the CSV metrics format.
@@ -48,6 +59,7 @@ var csvHeader = []string{
 	"workload", "mechanism", "salt", "cycle",
 	"retired", "retired_total", "ipc", "icache_mpki",
 	"ftq_depth", "ftq_occ", "accuracy", "emitted",
+	"dram_queue_cycles", "fill_queue_cycles", "demand_retries", "prefetch_drops",
 }
 
 // CSVRecord renders the sample as CSV fields in csvHeader order.
@@ -59,6 +71,8 @@ func (s IntervalSample) CSVRecord() []string {
 		fmt.Sprintf("%.6f", s.IPC), fmt.Sprintf("%.6f", s.IcacheMPKI),
 		fmt.Sprintf("%d", s.FTQDepth), fmt.Sprintf("%d", s.FTQOcc),
 		fmt.Sprintf("%.6f", s.Accuracy), fmt.Sprintf("%d", s.Emitted),
+		fmt.Sprintf("%d", s.DRAMQueueCycles), fmt.Sprintf("%d", s.FillQueueCycles),
+		fmt.Sprintf("%d", s.DemandRetries), fmt.Sprintf("%d", s.PrefetchDrops),
 	}
 }
 

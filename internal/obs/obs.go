@@ -51,6 +51,14 @@ const (
 	// EvRecovery: execute-time misprediction recovery. A=resolution
 	// latency in cycles (divergence→recovery).
 	EvRecovery
+	// EvFillComplete: a cache-level fill completed and the line became
+	// visible. Addr=line, A=level code (1=L1, 2=L2, 3=LLC), B=1 if the
+	// fill was prefetch-initiated.
+	EvFillComplete
+	// EvMemBackpressure: a memory request was rejected under MSHR
+	// pressure. Addr=line, A=level code, B=1 if the rejected request was
+	// a prefetch (dropped) rather than a demand (retried).
+	EvMemBackpressure
 
 	numEventKinds
 )
@@ -78,6 +86,10 @@ func (k EventKind) String() string {
 		return "resteer"
 	case EvRecovery:
 		return "recovery"
+	case EvFillComplete:
+		return "fill-complete"
+	case EvMemBackpressure:
+		return "mem-backpressure"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -310,5 +322,23 @@ func (o *Observer) Resteer() {
 func (o *Observer) Recovery(latency uint64) {
 	if o.Trace != nil {
 		o.Trace.Record(Event{Cycle: o.now, Kind: EvRecovery, A: latency})
+	}
+}
+
+// FillComplete observes a cache-level fill completing (the line is now
+// visible at that level). level is a hierarchy level code (1=L1, 2=L2,
+// 3=LLC) kept as a plain integer so obs stays decoupled from the
+// memory package.
+func (o *Observer) FillComplete(level, line uint64, prefetch bool) {
+	if o.Trace != nil {
+		o.Trace.Record(Event{Cycle: o.now, Kind: EvFillComplete, Addr: line, A: level, B: b2u(prefetch)})
+	}
+}
+
+// MemBackpressure observes a memory request rejected because a level's
+// MSHR file was full: demands retry, prefetches are dropped.
+func (o *Observer) MemBackpressure(level, line uint64, prefetch bool) {
+	if o.Trace != nil {
+		o.Trace.Record(Event{Cycle: o.now, Kind: EvMemBackpressure, Addr: line, A: level, B: b2u(prefetch)})
 	}
 }

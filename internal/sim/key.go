@@ -23,7 +23,7 @@ import (
 // Field counts covered by the key builders. Bump these together with
 // the corresponding builder when a struct grows a field.
 const (
-	configKeyFields  = 42
+	configKeyFields  = 49
 	profileKeyFields = 28
 	tageKeyFields    = 6
 	uftqKeyFields    = 10
@@ -55,10 +55,13 @@ func ConfigKey(cfg Config) string {
 	fmt.Fprintf(&b, "|be{w=%d,rob=%d,rs=%d,alu=%d,lp=%d,sp=%d,lb=%d,sb=%d}",
 		cfg.Width, cfg.ROBSize, cfg.RSSize, cfg.ALUs,
 		cfg.LoadPorts, cfg.StorePorts, cfg.LoadBuffer, cfg.StoreBuffer)
-	fmt.Fprintf(&b, "|mem{l1d=%d/%d,l2=%d/%d,llc=%d/%d,lat=%d/%d/%d,dram=%d/%d,spf=%t}",
+	fmt.Fprintf(&b, "|mem{l1d=%d/%d,l2=%d/%d,llc=%d/%d,lat=%d/%d/%d,dram=%d/%d,spf=%t,mshr=%d/%d/%d,fill=%d/%d/%d,pfbk=%d}",
 		cfg.L1DBytes, cfg.L1DWays, cfg.L2Bytes, cfg.L2Ways, cfg.LLCBytes, cfg.LLCWays,
 		cfg.L1DLatency, cfg.L2Latency, cfg.LLCLatency,
-		cfg.DRAMLatency, cfg.DRAMBurstCycles, cfg.StreamPF)
+		cfg.DRAMLatency, cfg.DRAMBurstCycles, cfg.StreamPF,
+		cfg.L1DMSHRs, cfg.L2MSHRs, cfg.LLCMSHRs,
+		cfg.L1DFillCycles, cfg.L2FillCycles, cfg.LLCFillCycles,
+		cfg.DRAMPrefetchBacklog)
 	fmt.Fprintf(&b, "|uftq{m=%d,aur=%g,atr=%g,win=%d,init=%d,min=%d,max=%d,step=%d,band=%g,drift=%g}",
 		cfg.UFTQ.Mode, cfg.UFTQ.AUR, cfg.UFTQ.ATR, cfg.UFTQ.Window,
 		cfg.UFTQ.InitialDepth, cfg.UFTQ.MinDepth, cfg.UFTQ.MaxDepth,

@@ -165,12 +165,18 @@ func TestStatsConsistency(t *testing.T) {
 	}
 	if r.BE.Flushed != r.BE.WrongPathExecuted {
 		// Every wrong-path instruction that entered the ROB must be
-		// squashed eventually; a zero-width final window may hold a few
-		// in flight at the end of the run.
+		// squashed eventually. The in-flight window skews the balance in
+		// both directions by up to one ROB: instructions still in flight
+		// at the end of the run were counted but never flushed, and
+		// instructions in flight across the warmup ResetStats are
+		// flushed after their entry count was wiped.
 		diff := int64(r.BE.WrongPathExecuted) - int64(r.BE.Flushed)
-		if diff < 0 || diff > int64(cfg.ROBSize) {
+		if diff < -int64(cfg.ROBSize) || diff > int64(cfg.ROBSize) {
 			t.Errorf("flushed %d vs wrong-path %d", r.BE.Flushed, r.BE.WrongPathExecuted)
 		}
+	}
+	if r.BE.FlushedOnPath != 0 {
+		t.Errorf("%d on-path instructions were squashed", r.BE.FlushedOnPath)
 	}
 	if r.Cycles == 0 || r.Instructions == 0 {
 		t.Error("empty run")
@@ -233,7 +239,10 @@ func TestWarmupExcludedFromStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Instructions != 50_000 {
+	// The final Step may retire up to Width instructions at once, so the
+	// measured region can overshoot by at most one retire group; warmup
+	// instructions would show up as a ~50k excess.
+	if r.Instructions < 50_000 || r.Instructions >= 50_000+uint64(cfg.Width) {
 		t.Errorf("instructions %d include warmup", r.Instructions)
 	}
 }

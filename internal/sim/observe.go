@@ -22,6 +22,7 @@ import (
 func (m *Machine) AttachObserver(o *obs.Observer) {
 	m.obs = o
 	m.FE.Obs = o
+	m.Hier.Obs = o
 	if m.mech.Observe != nil {
 		m.mech.Observe(o)
 	}
@@ -48,6 +49,10 @@ func (m *Machine) obsRearm() {
 	m.obsLastEmitted = m.FE.Stats.PrefetchesEmitted
 	m.obsLastUseful = m.FE.Stats.PrefetchUseful
 	m.obsLastUseless = m.FE.Stats.PrefetchUseless
+	m.obsLastDRAMQueue = m.Hier.Stats.DRAMQueueCycles
+	m.obsLastFillQueue = m.Hier.Stats.FillQueueCycles()
+	m.obsLastRetries = m.Hier.Stats.DemandRetries() + m.FE.Stats.DemandMissRetries
+	m.obsLastDrops = m.Hier.Stats.PrefetchDrops() + m.FE.Stats.PrefetchBackpressure
 }
 
 // obsTick runs once per cycle when an observer is attached: it advances
@@ -73,6 +78,10 @@ func (m *Machine) obsSample() {
 	emitted := m.FE.Stats.PrefetchesEmitted
 	useful := m.FE.Stats.PrefetchUseful
 	useless := m.FE.Stats.PrefetchUseless
+	dramQ := m.Hier.Stats.DRAMQueueCycles
+	fillQ := m.Hier.Stats.FillQueueCycles()
+	retries := m.Hier.Stats.DemandRetries() + m.FE.Stats.DemandMissRetries
+	drops := m.Hier.Stats.PrefetchDrops() + m.FE.Stats.PrefetchBackpressure
 
 	s := obs.IntervalSample{
 		Workload:     m.obs.Workload,
@@ -84,6 +93,11 @@ func (m *Machine) obsSample() {
 		FTQDepth:     m.FE.Queue().Cap(),
 		FTQOcc:       m.FE.Queue().Len(),
 		Emitted:      emitted - m.obsLastEmitted,
+
+		DRAMQueueCycles: dramQ - m.obsLastDRAMQueue,
+		FillQueueCycles: fillQ - m.obsLastFillQueue,
+		DemandRetries:   retries - m.obsLastRetries,
+		PrefetchDrops:   drops - m.obsLastDrops,
 	}
 	s.IPC = float64(s.Retired) / float64(cycles)
 	if s.Retired > 0 {
@@ -102,6 +116,10 @@ func (m *Machine) obsSample() {
 	m.obsLastEmitted = emitted
 	m.obsLastUseful = useful
 	m.obsLastUseless = useless
+	m.obsLastDRAMQueue = dramQ
+	m.obsLastFillQueue = fillQ
+	m.obsLastRetries = retries
+	m.obsLastDrops = drops
 }
 
 // obsFlush closes the final partial interval at the end of a measured

@@ -67,6 +67,82 @@ func TestConcurrentMachinesShareImage(t *testing.T) {
 	}
 }
 
+// TestConcurrentRequestPathBackpressure runs two machines over one
+// SharedImage with deliberately tiny per-level MSHR files and fill
+// bandwidth, so the request path is saturated with merges, retries and
+// prefetch drops on both. Under `go test -race` this proves the
+// two-phase request/complete path (MSHR files, fill ports, DRAM
+// channel) holds no state shared across machines; afterwards each
+// drained hierarchy must satisfy the fill-conservation invariant and
+// the pair must be bit-identical to serial re-runs.
+func TestConcurrentRequestPathBackpressure(t *testing.T) {
+	prof := testProfile()
+	prog, err := SharedImage(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkCfg := func(salt uint64) Config {
+		cfg := NewConfig(prof, MechUDP)
+		cfg.MaxInstructions = 30_000
+		// Warmup must be zero: ResetStats at the warmup boundary wipes
+		// the request counts of fills still in flight, and when those
+		// fills complete afterwards the conservation ledger no longer
+		// balances. CheckCounters is only meaningful over a window with
+		// no mid-flight reset.
+		cfg.WarmupInstructions = 0
+		cfg.SeedSalt = salt
+		cfg.L2MSHRs = 2
+		cfg.LLCMSHRs = 2
+		cfg.L1DMSHRs = 2
+		cfg.L2FillCycles = 8
+		cfg.LLCFillCycles = 8
+		return cfg
+	}
+	cfgs := []Config{mkCfg(0), mkCfg(7919)}
+
+	results := make([]Result, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			m, err := NewMachineWithProgram(cfg, prog)
+			if err != nil {
+				t.Errorf("machine %d: %v", i, err)
+				return
+			}
+			results[i] = m.Run()
+			m.Hier.Drain()
+			if err := m.Hier.CheckCounters(); err != nil {
+				t.Errorf("machine %d: %v", i, err)
+			}
+		}(i, cfg)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The tiny geometry must actually have exercised backpressure.
+	for i, r := range results {
+		if r.Mem.DemandRetries() == 0 && r.Mem.PrefetchDrops() == 0 {
+			t.Errorf("machine %d: no backpressure under 2-entry MSHR files: %+v", i, r.Mem)
+		}
+	}
+
+	for i, cfg := range cfgs {
+		m, err := NewMachineWithProgram(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial := m.Run(); results[i] != serial {
+			t.Errorf("machine %d: concurrent result differs from serial\nconcurrent: %v\nserial:     %v",
+				i, results[i], serial)
+		}
+	}
+}
+
 // TestSharedImageSingleflight hammers SharedImage for the same profile
 // from many goroutines and asserts they all get the identical program
 // pointer (one generation, no duplicated work, no torn cache state).

@@ -6,6 +6,7 @@ import (
 
 	"udpsim/internal/backend"
 	"udpsim/internal/frontend"
+	"udpsim/internal/memory"
 	"udpsim/internal/obs"
 )
 
@@ -56,6 +57,9 @@ type Result struct {
 	MechanismSummary string
 	FE               frontend.Stats
 	BE               backend.Stats
+	// Mem is the memory hierarchy's counter snapshot: per-level fill /
+	// merge / backpressure accounting plus DRAM channel traffic.
+	Mem memory.Stats
 
 	// Lifecycle is the per-prefetch timing digest (emit→fill latency,
 	// demand-wait lateness, fill→use residency). Tracked is false when
@@ -103,6 +107,7 @@ func (m *Machine) Snapshot() Result {
 		FinalFTQDepth: m.FE.Queue().Cap(),
 		FE:            fe,
 		BE:            be,
+		Mem:           m.Hier.Stats,
 	}
 	if be.Cycles > 0 {
 		r.IPC = float64(be.Retired) / float64(be.Cycles)

@@ -82,6 +82,23 @@ type Config struct {
 	DRAMLatency     int
 	DRAMBurstCycles int
 	StreamPF        bool
+	// Per-level miss-status holding registers (fill buffers): how many
+	// fills may be in flight at each level. Demands rejected by a full
+	// file retry; prefetches are dropped (counted as backpressure).
+	L1DMSHRs int
+	L2MSHRs  int
+	LLCMSHRs int
+	// Per-level fill-port occupancy in cycles: each fill into the level
+	// holds its (single) fill port this long, serializing bursts of
+	// fills and charging prefetch traffic a bandwidth cost.
+	L1DFillCycles int
+	L2FillCycles  int
+	LLCFillCycles int
+	// DRAMPrefetchBacklog drops prefetch fills whose projected DRAM
+	// queueing delay exceeds this many cycles (demands are never
+	// throttled). Negative disables the throttle; zero picks the
+	// memory package's default. See memory.Config.DRAMPrefetchBacklog.
+	DRAMPrefetchBacklog int
 
 	// Mechanism knobs.
 	UFTQ core.UFTQConfig
@@ -141,6 +158,14 @@ func NewConfig(w workload.Profile, m Mechanism) Config {
 		DRAMLatency:     150,
 		DRAMBurstCycles: 10,
 		StreamPF:        true,
+		L1DMSHRs:        16,
+		L2MSHRs:         32,
+		LLCMSHRs:        64,
+		L1DFillCycles:   1,
+		L2FillCycles:    1,
+		LLCFillCycles:   1,
+		// Defer to the memory package's default throttle policy.
+		DRAMPrefetchBacklog: 0,
 
 		UFTQ: core.DefaultUFTQConfig(core.UFTQATRAUR),
 		UDP:  core.DefaultUDPConfig(),
@@ -174,13 +199,17 @@ type Machine struct {
 	// Observability (attached post-construction via AttachObserver so
 	// Config — and the result-cache key — stays unchanged). The
 	// obsLast* fields are the interval sampler's delta baselines.
-	obs            *obs.Observer
-	obsLastCycle   uint64
-	obsLastRetired uint64
-	obsLastMisses  uint64
-	obsLastEmitted uint64
-	obsLastUseful  uint64
-	obsLastUseless uint64
+	obs              *obs.Observer
+	obsLastCycle     uint64
+	obsLastRetired   uint64
+	obsLastMisses    uint64
+	obsLastEmitted   uint64
+	obsLastUseful    uint64
+	obsLastUseless   uint64
+	obsLastDRAMQueue uint64
+	obsLastFillQueue uint64
+	obsLastRetries   uint64
+	obsLastDrops     uint64
 }
 
 // NewMachine builds and wires a machine. The program image is generated
@@ -235,6 +264,14 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 		DRAMLatency:      cfg.DRAMLatency,
 		DRAMBurstCycles:  cfg.DRAMBurstCycles,
 		StreamPrefetcher: cfg.StreamPF,
+		L1DMSHRs:         cfg.L1DMSHRs,
+		L2MSHRs:          cfg.L2MSHRs,
+		LLCMSHRs:         cfg.LLCMSHRs,
+		L1DFillCycles:    cfg.L1DFillCycles,
+		L2FillCycles:     cfg.L2FillCycles,
+		LLCFillCycles:    cfg.LLCFillCycles,
+
+		DRAMPrefetchBacklog: cfg.DRAMPrefetchBacklog,
 	})
 
 	if src == nil {
@@ -329,6 +366,22 @@ func validateGeometry(cfg Config) error {
 				c.Name, c.SizeBytes, c.Ways, err, isa.LineBytes)
 		}
 	}
+	for _, k := range []struct {
+		name string
+		v    int
+	}{
+		{"IMSHRs", cfg.IMSHRs},
+		{"L1DMSHRs", cfg.L1DMSHRs},
+		{"L2MSHRs", cfg.L2MSHRs},
+		{"LLCMSHRs", cfg.LLCMSHRs},
+		{"L1DFillCycles", cfg.L1DFillCycles},
+		{"L2FillCycles", cfg.L2FillCycles},
+		{"LLCFillCycles", cfg.LLCFillCycles},
+	} {
+		if k.v < 0 {
+			return fmt.Errorf("sim: %s must be >= 0 (0 selects the default), got %d", k.name, k.v)
+		}
+	}
 	return nil
 }
 
@@ -363,9 +416,12 @@ func (m *Machine) Program() *workload.Program { return m.prog }
 // Cycle returns the current simulated cycle.
 func (m *Machine) Cycle() uint64 { return m.cycle }
 
-// Step advances the machine one cycle.
+// Step advances the machine one cycle. The hierarchy ticks first so
+// fills whose data arrives this cycle become visible before the
+// frontend and backend look for them.
 func (m *Machine) Step() {
 	m.cycle++
+	m.Hier.Tick(m.cycle)
 	m.FE.Cycle(m.cycle)
 	m.BE.Cycle(m.cycle)
 	if m.obs != nil {
