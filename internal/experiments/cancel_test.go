@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"udpsim/internal/sim"
+)
+
+// TestForEachCtxCancel verifies the worker-pool primitive stops
+// scheduling new iterations once the context is canceled.
+func TestForEachCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 1000, 2, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("ForEachCtx ran all %d iterations despite cancellation", n)
+	}
+}
+
+// TestForEachCtxNilContext keeps the legacy no-context path working.
+func TestForEachCtxNilContext(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEach(10, 4, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d iterations, want 10", ran.Load())
+	}
+}
+
+// TestRunConfigCancelMidSimulation is the satellite's headline test: a
+// context canceled while a simulation is in flight interrupts the
+// machine loop (cooperative poll), propagates context.Canceled, and
+// caches nothing — a rerun simulates from scratch.
+func TestRunConfigCancelMidSimulation(t *testing.T) {
+	FlushResultCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	o := Options{
+		// Far more instructions than the test will simulate; the run
+		// must end by cancellation, not completion.
+		Instructions: 2_000_000_000,
+		Warmup:       10_000,
+		Simpoints:    1,
+		Context:      ctx,
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := o.run("mysql", sim.MechBaseline, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s — cooperative poll not working", elapsed)
+	}
+	// The aborted run must not have poisoned the cache: a fresh, small
+	// run under the same options shape completes normally.
+	FlushResultCache()
+	o2 := Options{Instructions: 30_000, Warmup: 5_000, Simpoints: 1}
+	r, err := o2.run("mysql", sim.MechBaseline, nil)
+	if err != nil {
+		t.Fatalf("rerun after cancel: %v", err)
+	}
+	if r.IPC <= 0 {
+		t.Fatalf("rerun IPC = %v", r.IPC)
+	}
+}
+
+// TestRunConfigPreCanceled: an already-canceled context fails fast
+// without simulating.
+func TestRunConfigPreCanceled(t *testing.T) {
+	FlushResultCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Options{Instructions: 1_000_000, Simpoints: 1, Context: ctx}
+	start := time.Now()
+	_, err := o.run("mysql", sim.MechBaseline, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("pre-canceled run did not fail fast")
+	}
+}
+
+// TestRunDescriptorObservedCancel cancels a whole descriptor grid.
+func TestRunDescriptorObservedCancel(t *testing.T) {
+	FlushResultCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Descriptor{
+		Name:         "cancel-grid",
+		Workloads:    []string{"mysql"},
+		Instructions: 2_000_000_000,
+		Simpoints:    1,
+		Configs:      []ConfigSpec{{Label: "base", Mechanism: "baseline"}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunDescriptorObserved(d, nil, 1, Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

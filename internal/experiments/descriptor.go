@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"udpsim/internal/sim"
 	"udpsim/internal/workload"
@@ -59,6 +61,53 @@ type ConfigSpec struct {
 	DRAMPrefetchBacklog int `json:"dram_prefetch_backlog,omitempty"`
 }
 
+// FieldError locates one invalid descriptor field: which field (in a
+// JSON-pointer-ish spelling like "configs[2].mechanism") and why. The
+// structured form exists so the daemon's HTTP layer can map validation
+// failures to machine-readable 400 bodies instead of regexing error
+// strings.
+type FieldError struct {
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+func (e FieldError) Error() string { return e.Field + ": " + e.Reason }
+
+// ValidationError aggregates every structural problem of a descriptor
+// (validation does not stop at the first offense, so an API client gets
+// the full list in one round trip).
+type ValidationError struct {
+	Descriptor string       `json:"descriptor,omitempty"`
+	Fields     []FieldError `json:"fields"`
+}
+
+func (e *ValidationError) Error() string {
+	var b strings.Builder
+	b.WriteString("experiments: invalid descriptor")
+	if e.Descriptor != "" {
+		fmt.Fprintf(&b, " %q", e.Descriptor)
+	}
+	for i, f := range e.Fields {
+		if i == 0 {
+			b.WriteString(": ")
+		} else {
+			b.WriteString("; ")
+		}
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+// AsValidationError unwraps err to a *ValidationError if one is in the
+// chain (nil otherwise) — the API handler's 400 path.
+func AsValidationError(err error) *ValidationError {
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		return ve
+	}
+	return nil
+}
+
 // ParseDescriptor reads and validates a JSON descriptor.
 func ParseDescriptor(r io.Reader) (*Descriptor, error) {
 	dec := json.NewDecoder(r)
@@ -73,37 +122,46 @@ func ParseDescriptor(r io.Reader) (*Descriptor, error) {
 	return &d, nil
 }
 
-// Validate reports structural problems.
+// Validate reports structural problems (all of them, as a
+// *ValidationError) and applies defaults: empty workloads mean all,
+// zero instructions/simpoints get the standard values.
 func (d *Descriptor) Validate() error {
+	ve := &ValidationError{Descriptor: d.Name}
+	bad := func(field, format string, args ...any) {
+		ve.Fields = append(ve.Fields, FieldError{Field: field, Reason: fmt.Sprintf(format, args...)})
+	}
 	if d.Name == "" {
-		return fmt.Errorf("experiments: descriptor needs a name")
+		bad("name", "descriptor needs a name")
 	}
 	if len(d.Configs) == 0 {
-		return fmt.Errorf("experiments: descriptor %q has no configs", d.Name)
+		bad("configs", "descriptor has no configs")
 	}
 	if len(d.Workloads) == 0 {
 		d.Workloads = append(d.Workloads, workload.Names...)
 	}
-	for _, w := range d.Workloads {
+	for i, w := range d.Workloads {
 		if _, ok := workload.ByName(w); !ok {
-			return fmt.Errorf("experiments: unknown workload %q", w)
+			bad(fmt.Sprintf("workloads[%d]", i), "unknown workload %q (known: %s)",
+				w, strings.Join(workload.Names, ", "))
 		}
 	}
 	seen := map[string]bool{}
 	for i, c := range d.Configs {
 		if c.Label == "" {
-			return fmt.Errorf("experiments: config %d has no label", i)
-		}
-		if seen[c.Label] {
-			return fmt.Errorf("experiments: duplicate config label %q", c.Label)
+			bad(fmt.Sprintf("configs[%d].label", i), "config has no label")
+		} else if seen[c.Label] {
+			bad(fmt.Sprintf("configs[%d].label", i), "duplicate config label %q", c.Label)
 		}
 		seen[c.Label] = true
 		// Descriptors must name mechanisms explicitly — the empty-string
 		// alias for baseline is a programmatic convenience only.
 		if _, ok := sim.LookupMechanism(sim.Mechanism(c.Mechanism)); !ok || c.Mechanism == "" {
-			return fmt.Errorf("experiments: config %q has unknown mechanism %q (registered: %s)",
-				c.Label, c.Mechanism, sim.MechanismNames())
+			bad(fmt.Sprintf("configs[%d].mechanism", i), "unknown mechanism %q (registered: %s)",
+				c.Mechanism, sim.MechanismNames())
 		}
+	}
+	if len(ve.Fields) > 0 {
+		return ve
 	}
 	if d.Instructions == 0 {
 		d.Instructions = 500_000
@@ -131,12 +189,76 @@ func RunDescriptor(d *Descriptor, progress func(string), parallelism int) ([]Des
 	return RunDescriptorObserved(d, progress, parallelism, Options{})
 }
 
-// RunDescriptorObserved is RunDescriptor with the observability knobs
-// of obsOpts (Interval, Metrics) applied to every simulated cell: each
-// region streams interval samples into obsOpts.Metrics. Other obsOpts
-// fields are ignored. A zero obsOpts degrades to the plain runner.
+// apply overwrites cfg with the spec's non-zero overrides.
+func (cs ConfigSpec) apply(cfg *sim.Config) {
+	if cs.FTQ > 0 {
+		cfg.FTQDepth = cs.FTQ
+	}
+	if cs.BTB > 0 {
+		cfg.BTBEntries = cs.BTB
+	}
+	if cs.ICacheKB > 0 {
+		cfg.ICacheBytes = cs.ICacheKB * 1024
+		if cs.ICacheWays <= 0 {
+			// Pick an associativity that keeps the set count a
+			// power of two for non-power-of-two sizes.
+			cfg.ICacheWays = sim.AutoWays(cfg.ICacheBytes)
+		}
+	}
+	if cs.ICacheWays > 0 {
+		cfg.ICacheWays = cs.ICacheWays
+	}
+	if cs.L1DMSHRs > 0 {
+		cfg.L1DMSHRs = cs.L1DMSHRs
+	}
+	if cs.L2MSHRs > 0 {
+		cfg.L2MSHRs = cs.L2MSHRs
+	}
+	if cs.LLCMSHRs > 0 {
+		cfg.LLCMSHRs = cs.LLCMSHRs
+	}
+	if cs.L2FillCycles > 0 {
+		cfg.L2FillCycles = cs.L2FillCycles
+	}
+	if cs.LLCFillCycles > 0 {
+		cfg.LLCFillCycles = cs.LLCFillCycles
+	}
+	if cs.DRAMPrefetchBacklog != 0 { // negative = disable
+		cfg.DRAMPrefetchBacklog = cs.DRAMPrefetchBacklog
+	}
+}
+
+// CellConfig builds the full simulation configuration of one
+// (workload, config-spec) cell of a validated descriptor — the exact
+// Config RunDescriptor simulates for that cell.
+func CellConfig(d *Descriptor, workloadName string, cs ConfigSpec) sim.Config {
+	prof := workload.MustByName(workloadName)
+	cfg := sim.NewConfig(prof, sim.Mechanism(cs.Mechanism))
+	cfg.MaxInstructions = d.Instructions
+	cfg.WarmupInstructions = d.Warmup
+	cs.apply(&cfg)
+	return cfg
+}
+
+// CellKey returns the canonical result-cache/store key of one cell —
+// the address under which the daemon's content-addressed store holds
+// (or will hold) the cell's result.
+func CellKey(d *Descriptor, workloadName string, cs ConfigSpec) string {
+	return CacheKey(CellConfig(d, workloadName, cs), d.Simpoints)
+}
+
+// RunDescriptorObserved is RunDescriptor with obsOpts's observability
+// knobs (Interval, Metrics, OnSample) applied to every simulated cell
+// and obsOpts.Context cancelling the grid. Other obsOpts fields
+// (Instructions, Warmup, Simpoints, Workloads) are ignored — the
+// descriptor owns those. A zero obsOpts degrades to the plain runner.
+//
+// Cells run through the engine's memoized, store-backed path
+// (Options.run): identical cells across descriptors, figures, or
+// concurrent daemon jobs simulate once, and when a persistent result
+// store is installed, previously computed cells load from disk. Cached
+// and store-served cells emit no interval samples (nothing simulates).
 func RunDescriptorObserved(d *Descriptor, progress func(string), parallelism int, obsOpts Options) ([]DescriptorResult, error) {
-	attach := obsOpts.attach()
 	type cell struct {
 		workload string
 		spec     ConfigSpec
@@ -147,49 +269,23 @@ func RunDescriptorObserved(d *Descriptor, progress func(string), parallelism int
 			cells = append(cells, cell{workload: w, spec: cs})
 		}
 	}
+	// Per-cell engine options: the descriptor's effort knobs, the
+	// caller's observability hooks, no engine-level progress (the
+	// descriptor layer prints its own labeled lines below).
+	cellOpts := Options{
+		Instructions: d.Instructions,
+		Warmup:       d.Warmup,
+		Simpoints:    d.Simpoints,
+		Context:      obsOpts.Context,
+		Interval:     obsOpts.Interval,
+		Metrics:      obsOpts.Metrics,
+		OnSample:     obsOpts.OnSample,
+	}
 	out := make([]DescriptorResult, len(cells))
-	err := ForEach(len(cells), parallelism, func(i int) error {
+	err := ForEachCtx(cellOpts.ctx(), len(cells), parallelism, func(i int) error {
 		c := cells[i]
-		prof := workload.MustByName(c.workload)
-		cfg := sim.NewConfig(prof, sim.Mechanism(c.spec.Mechanism))
-		cfg.MaxInstructions = d.Instructions
-		cfg.WarmupInstructions = d.Warmup
-		if c.spec.FTQ > 0 {
-			cfg.FTQDepth = c.spec.FTQ
-		}
-		if c.spec.BTB > 0 {
-			cfg.BTBEntries = c.spec.BTB
-		}
-		if c.spec.ICacheKB > 0 {
-			cfg.ICacheBytes = c.spec.ICacheKB * 1024
-			if c.spec.ICacheWays <= 0 {
-				// Pick an associativity that keeps the set count a
-				// power of two for non-power-of-two sizes.
-				cfg.ICacheWays = sim.AutoWays(cfg.ICacheBytes)
-			}
-		}
-		if c.spec.ICacheWays > 0 {
-			cfg.ICacheWays = c.spec.ICacheWays
-		}
-		if c.spec.L1DMSHRs > 0 {
-			cfg.L1DMSHRs = c.spec.L1DMSHRs
-		}
-		if c.spec.L2MSHRs > 0 {
-			cfg.L2MSHRs = c.spec.L2MSHRs
-		}
-		if c.spec.LLCMSHRs > 0 {
-			cfg.LLCMSHRs = c.spec.LLCMSHRs
-		}
-		if c.spec.L2FillCycles > 0 {
-			cfg.L2FillCycles = c.spec.L2FillCycles
-		}
-		if c.spec.LLCFillCycles > 0 {
-			cfg.LLCFillCycles = c.spec.LLCFillCycles
-		}
-		if c.spec.DRAMPrefetchBacklog != 0 { // negative = disable
-			cfg.DRAMPrefetchBacklog = c.spec.DRAMPrefetchBacklog
-		}
-		_, agg, err := sim.RunSimpointsObserved(cfg, d.Simpoints, 1, attach)
+		cfg := CellConfig(d, c.workload, c.spec)
+		agg, err := cellOpts.runConfig(c.workload, sim.Mechanism(c.spec.Mechanism), cfg)
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", c.workload, c.spec.Label, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -59,34 +60,20 @@ type jobSpec struct {
 // runAll executes the jobs on a bounded worker pool and returns their
 // results in input order. Errors are aggregated (errors.Join) rather
 // than short-circuiting, so a failed cell reports every failure of the
-// grid at once.
+// grid at once. Cancellation (Options.Context) both skips cells that
+// have not started and stops in-flight machines cooperatively.
 func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
-	errs := make([]error, len(jobs))
 	workers := o.parallelism()
 	// Live grid-cell progress for the expvar endpoint (/debug/vars).
 	obs.JobsTotal.Add(int64(len(jobs)))
-	if workers <= 1 || len(jobs) <= 1 {
-		for i, j := range jobs {
-			results[i], errs[i] = o.run(j.app, j.mech, j.mutate)
-			obs.JobsDone.Add(1)
-		}
-		return results, errors.Join(errs...)
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, j jobSpec) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = o.run(j.app, j.mech, j.mutate)
-			obs.JobsDone.Add(1)
-		}(i, j)
-	}
-	wg.Wait()
-	return results, errors.Join(errs...)
+	err := ForEachCtx(o.ctx(), len(jobs), workers, func(i int) error {
+		var err error
+		results[i], err = o.run(jobs[i].app, jobs[i].mech, jobs[i].mutate)
+		obs.JobsDone.Add(1)
+		return err
+	})
+	return results, err
 }
 
 // ForEach runs fn(i) for i in [0, n) on a bounded worker pool of the
@@ -96,13 +83,31 @@ func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
 // descriptor cells, cmd/sweep's grid). fn must write its result into
 // slot i of a caller-owned slice so output order stays deterministic.
 func ForEach(n, workers int, fn func(int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, iterations
+// that have not started report ctx.Err() instead of running (in-flight
+// iterations are the callee's responsibility — Options.run threads the
+// same context into the machine loop). The aggregated error therefore
+// contains ctx.Err() whenever the grid was cut short.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	errs := make([]error, n)
+	run := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	}
 	if workers == 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			errs[i] = run(i)
 		}
 		return errors.Join(errs...)
 	}
@@ -114,7 +119,7 @@ func ForEach(n, workers int, fn func(int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = fn(i)
+			errs[i] = run(i)
 		}(i)
 	}
 	wg.Wait()

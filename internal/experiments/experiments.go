@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +41,13 @@ type Options struct {
 	// arrive in completion order, not grid order.
 	Progress func(string)
 
+	// Context, when non-nil, cancels in-flight and pending simulations:
+	// running machines stop within a few thousand simulated cycles,
+	// queued grid cells are skipped, and the aggregated error contains
+	// ctx.Err(). Nil means context.Background() (uncancellable, the
+	// zero-overhead path).
+	Context context.Context
+
 	// Interval, when non-zero together with Metrics, enables per-
 	// interval time-series sampling (cycles per sample) for every
 	// simulated region. Sampling does not change the simulated machine
@@ -50,6 +58,11 @@ type Options struct {
 	// Metrics receives streamed interval samples when non-nil
 	// (obs.MetricsWriter serializes concurrent regions).
 	Metrics *obs.MetricsWriter
+	// OnSample, when non-nil together with Interval, additionally
+	// receives every interval sample as a typed callback — the hook the
+	// daemon's SSE stream hangs off. Callbacks arrive from concurrently
+	// simulating regions and must be safe for concurrent use.
+	OnSample func(obs.IntervalSample)
 }
 
 // DefaultOptions returns the evaluation configuration used by
@@ -93,19 +106,35 @@ func (o Options) progress(format string, args ...any) {
 	}
 }
 
+// ctx resolves the option's context (nil means Background).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 // attach returns the per-region observer attach callback implementing
-// Options.Interval/Metrics streaming, or nil when sampling is disabled
-// (the plain, zero-overhead path).
+// Options.Interval/Metrics/OnSample streaming, or nil when sampling is
+// disabled (the plain, zero-overhead path).
 func (o Options) attach() func(int, *sim.Machine) {
-	if o.Interval == 0 || o.Metrics == nil {
+	if o.Interval == 0 || (o.Metrics == nil && o.OnSample == nil) {
 		return nil
 	}
 	w := o.Metrics
+	cb := o.OnSample
 	iv := o.Interval
 	return func(region int, m *sim.Machine) {
 		m.AttachObserver(&obs.Observer{
 			Interval: iv,
-			OnSample: func(s obs.IntervalSample) { _ = w.Write(s) },
+			OnSample: func(s obs.IntervalSample) {
+				if w != nil {
+					_ = w.Write(s)
+				}
+				if cb != nil {
+					cb(s)
+				}
+			},
 		})
 	}
 }
@@ -113,8 +142,18 @@ func (o Options) attach() func(int, *sim.Machine) {
 // run executes one configuration over the option's simpoints, memoized
 // process-wide and singleflighted: concurrent callers with the same
 // canonical config key block on the first runner instead of simulating
-// the same deterministic region twice.
+// the same deterministic region twice. When a persistent ResultStore is
+// installed (SetResultStore) the cache reads through it: an in-memory
+// miss probes the store before simulating, and completed simulations
+// are written back — so a daemon restart serves known configurations
+// from disk.
 func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) (sim.Result, error) {
+	cfg := o.cellConfig(name, mech, mutate)
+	return o.runConfig(name, mech, cfg)
+}
+
+// cellConfig builds the simulated configuration for one grid cell.
+func (o Options) cellConfig(name string, mech sim.Mechanism, mutate func(*sim.Config)) sim.Config {
 	prof := workload.MustByName(name)
 	cfg := sim.NewConfig(prof, mech)
 	cfg.MaxInstructions = o.Instructions
@@ -122,7 +161,12 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	key := fmt.Sprintf("%s|sp=%d", sim.ConfigKey(cfg), o.Simpoints)
+	return cfg
+}
+
+func (o Options) runConfig(name string, mech sim.Mechanism, cfg sim.Config) (sim.Result, error) {
+	key := CacheKey(cfg, o.Simpoints)
+	ctx := o.ctx()
 
 	resultMu.Lock()
 	if cached, ok := resultCache[key]; ok {
@@ -134,10 +178,16 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	if call, ok := resultInflight[key]; ok {
 		// Another goroutine is already simulating this key: wait for
 		// it. The runner necessarily holds a worker slot already, so
-		// waiting here cannot deadlock the pool.
+		// waiting here cannot deadlock the pool. A canceled waiter
+		// abandons the wait (the runner itself is driven by its own
+		// submitter's context and finishes or cancels independently).
 		resultMu.Unlock()
 		obs.CacheInflightWaits.Add(1)
-		<-call.done
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
 		if call.err != nil {
 			return sim.Result{}, call.err
 		}
@@ -147,9 +197,19 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	call := &resultCall{done: make(chan struct{})}
 	resultInflight[key] = call
 	resultMu.Unlock()
-	obs.CacheMisses.Add(1)
 
-	_, agg, err := sim.RunSimpointsObserved(cfg, o.Simpoints, 1, o.attach())
+	// In-memory miss: read through the persistent store before paying
+	// for a simulation. A hit is published exactly like a computed
+	// result so concurrent waiters resolve.
+	agg, hit := storeLoad(key)
+	var err error
+	if !hit {
+		obs.CacheMisses.Add(1)
+		_, agg, err = sim.RunSimpointsCtx(ctx, cfg, o.Simpoints, 1, o.attach())
+		if err == nil {
+			storeSave(key, agg)
+		}
+	}
 
 	resultMu.Lock()
 	if err == nil {
@@ -163,7 +223,11 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	if err != nil {
 		return sim.Result{}, err
 	}
-	o.progress("%s/%s ftq=%d: IPC %.4f", name, mech, agg.FinalFTQDepth, agg.IPC)
+	if hit {
+		o.progress("%s/%s ftq=%d: IPC %.4f (store)", name, mech, agg.FinalFTQDepth, agg.IPC)
+	} else {
+		o.progress("%s/%s ftq=%d: IPC %.4f", name, mech, agg.FinalFTQDepth, agg.IPC)
+	}
 	return agg, nil
 }
 

@@ -61,4 +61,40 @@ var (
 	// experiment run.
 	JobsTotal = expvar.NewInt("udpsim.jobs.total")
 	JobsDone  = expvar.NewInt("udpsim.jobs.done")
+
+	// Persistent result-store traffic (the disk-backed store the engine
+	// cache reads through when one is installed; see
+	// experiments.SetResultStore). StoreHits are in-memory misses served
+	// from disk without simulating; StoreMisses are probes that fell
+	// through to a real simulation; StoreWrites are successful
+	// write-backs; StoreErrors are store I/O failures (treated as
+	// misses); StoreQuarantined counts corrupt records moved aside
+	// instead of being served.
+	StoreHits        = expvar.NewInt("udpsim.store.hits")
+	StoreMisses      = expvar.NewInt("udpsim.store.misses")
+	StoreWrites      = expvar.NewInt("udpsim.store.writes")
+	StoreErrors      = expvar.NewInt("udpsim.store.errors")
+	StoreQuarantined = expvar.NewInt("udpsim.store.quarantined")
+)
+
+// Daemon (udpsimd) job-queue counters, published here so the whole
+// observability surface lives in one package and /debug/vars carries
+// engine-cache, store and queue health side by side.
+var (
+	// DaemonJobsSubmitted counts accepted POST /v1/jobs submissions
+	// (including ones deduplicated onto an existing job).
+	DaemonJobsSubmitted = expvar.NewInt("udpsimd.jobs.submitted")
+	// DaemonJobsDeduped counts submissions that attached to an
+	// already-queued, running or completed identical job instead of
+	// enqueuing a new one (cross-client singleflight).
+	DaemonJobsDeduped = expvar.NewInt("udpsimd.jobs.deduped")
+	// DaemonJobsRejected counts submissions refused by admission
+	// control (bounded queue full → HTTP 429, or draining → 503).
+	DaemonJobsRejected  = expvar.NewInt("udpsimd.jobs.rejected")
+	DaemonJobsCompleted = expvar.NewInt("udpsimd.jobs.completed")
+	DaemonJobsFailed    = expvar.NewInt("udpsimd.jobs.failed")
+	DaemonJobsCanceled  = expvar.NewInt("udpsimd.jobs.canceled")
+	// DaemonQueueDepth is the instantaneous number of queued (not yet
+	// running) jobs.
+	DaemonQueueDepth = expvar.NewInt("udpsimd.queue.depth")
 )

@@ -1,0 +1,253 @@
+// Package client is the thin Go client for the udpsimd daemon: submit
+// experiment descriptors, poll or stream job progress over SSE, and
+// fetch content-addressed results. It speaks only the wire types of
+// internal/serve, never the daemon's internals.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"udpsim/internal/serve"
+)
+
+// Client talks to one udpsimd base URL (e.g. "http://127.0.0.1:8091").
+type Client struct {
+	base string
+	http *http.Client
+	// Name identifies this client to the daemon's per-client fair
+	// queue (X-UDPSim-Client). Empty means the daemon falls back to
+	// the remote address.
+	Name string
+}
+
+// New builds a client. hc == nil uses a dedicated default client with
+// no overall timeout (SSE streams are long-lived; use contexts to
+// bound individual calls).
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: hc}
+}
+
+// Base returns the daemon base URL the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// APIError is a non-2xx response, decoded.
+type APIError struct {
+	StatusCode int
+	Body       serve.APIError
+}
+
+func (e *APIError) Error() string {
+	if len(e.Body.Fields) > 0 {
+		return fmt.Sprintf("udpsimd: HTTP %d: %s (%d invalid fields)",
+			e.StatusCode, e.Body.Error, len(e.Body.Fields))
+	}
+	return fmt.Sprintf("udpsimd: HTTP %d: %s", e.StatusCode, e.Body.Error)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if jsonErr := json.Unmarshal(body, &apiErr.Body); jsonErr != nil || apiErr.Body.Error == "" {
+			apiErr.Body.Error = strings.TrimSpace(string(body))
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// SubmitOptions tune a submission.
+type SubmitOptions struct {
+	// Priority orders the queue (higher runs earlier; default 0).
+	Priority int
+}
+
+// Submit POSTs a raw experiment-descriptor JSON and returns the
+// (possibly deduplicated) job view.
+func (c *Client) Submit(ctx context.Context, descriptorJSON []byte, opts SubmitOptions) (serve.JobView, error) {
+	u := c.base + "/v1/jobs"
+	if opts.Priority != 0 {
+		u += "?priority=" + url.QueryEscape(strconv.Itoa(opts.Priority))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(descriptorJSON))
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.Name != "" {
+		req.Header.Set("X-UDPSim-Client", c.Name)
+	}
+	var v serve.JobView
+	err = c.do(req, &v)
+	return v, err
+}
+
+// Job fetches a job's current view.
+func (c *Client) Job(ctx context.Context, id string) (serve.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	var v serve.JobView
+	err = c.do(req, &v)
+	return v, err
+}
+
+// Cancel requests job cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Result fetches a content-addressed result record by address (the
+// result_key of a job cell).
+func (c *Client) Result(ctx context.Context, addr string) (serve.StoredResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/results/"+url.PathEscape(addr), nil)
+	if err != nil {
+		return serve.StoredResult{}, err
+	}
+	var v serve.StoredResult
+	err = c.do(req, &v)
+	return v, err
+}
+
+// Ready polls GET /readyz once.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// WaitReady polls /readyz until it succeeds or ctx expires.
+func (c *Client) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if err := c.Ready(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Stream subscribes to a job's SSE event stream from afterID (0 = the
+// beginning, including replayed history) and invokes fn per event
+// until the terminal event arrives (returning nil), fn returns an
+// error (propagated), or ctx ends. The terminal JobView, when reached,
+// is returned for convenience.
+func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(serve.Event) error) (*serve.JobView, error) {
+	u := fmt.Sprintf("%s/v1/jobs/%s/events", c.base, url.PathEscape(id))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if afterID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(afterID, 10))
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if jsonErr := json.Unmarshal(body, &apiErr.Body); jsonErr != nil || apiErr.Body.Error == "" {
+			apiErr.Body.Error = strings.TrimSpace(string(body))
+		}
+		return nil, apiErr
+	}
+	var (
+		sc      = bufio.NewScanner(resp.Body)
+		evType  string
+		evID    int64
+		evData  []byte
+		haveAny bool
+	)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	dispatch := func() (*serve.JobView, bool, error) {
+		if !haveAny {
+			return nil, false, nil
+		}
+		ev := serve.Event{ID: evID, Type: evType, Data: append([]byte(nil), evData...)}
+		evType, evID, evData, haveAny = "", 0, nil, false
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return nil, true, err
+			}
+		}
+		if ev.IsTerminal() {
+			var v serve.JobView
+			if err := json.Unmarshal(ev.Data, &v); err != nil {
+				return nil, true, fmt.Errorf("udpsimd: decoding terminal event: %w", err)
+			}
+			return &v, true, nil
+		}
+		return nil, false, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			v, stop, err := dispatch()
+			if stop || err != nil {
+				return v, err
+			}
+		case strings.HasPrefix(line, ":"): // comment / keepalive
+		case strings.HasPrefix(line, "event: "):
+			evType, haveAny = line[len("event: "):], true
+		case strings.HasPrefix(line, "id: "):
+			evID, _ = strconv.ParseInt(line[len("id: "):], 10, 64)
+			haveAny = true
+		case strings.HasPrefix(line, "data: "):
+			evData = append(evData, line[len("data: "):]...)
+			haveAny = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Stream ended without a terminal event (daemon went away).
+	return nil, errors.New("udpsimd: event stream ended before the job finished")
+}
+
+// Wait streams the job's events until terminal and returns the final
+// view — the simplest "submit then block" client loop.
+func (c *Client) Wait(ctx context.Context, id string) (*serve.JobView, error) {
+	return c.Stream(ctx, id, 0, nil)
+}

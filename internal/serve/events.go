@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one entry of a job's event stream, delivered to SSE
+// subscribers as `event: <Type>` / `id: <ID>` / `data: <Data>`.
+type Event struct {
+	// ID is the 1-based sequence number within the job's stream
+	// (monotonic; SSE clients can resume with Last-Event-ID).
+	ID int64 `json:"id"`
+	// Type is the event kind: "queued", "started", "progress" (one
+	// completed grid cell), "sample" (one obs interval sample), and the
+	// terminal "done", "failed" or "canceled".
+	Type string `json:"type"`
+	// Data is the JSON payload (shape depends on Type).
+	Data json.RawMessage `json:"data"`
+}
+
+// IsTerminal reports whether the event ends the stream.
+func (e Event) IsTerminal() bool {
+	switch e.Type {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// eventHub fans a job's event stream out to SSE subscribers. It keeps
+// a bounded replay buffer — all lifecycle events plus the most recent
+// sampleRingCap "sample" events — so a subscriber attaching mid-run
+// (or after completion) sees the job's history, most importantly the
+// terminal event. Publishing never blocks on slow subscribers: a
+// subscriber whose buffer is full loses intermediate events (its
+// dropped counter advances) but is guaranteed to observe the terminal
+// event because the hub closes subscriber channels only after it is
+// buffered in the replay log, and the SSE handler re-reads the tail on
+// channel close.
+type eventHub struct {
+	mu     sync.Mutex
+	nextID int64
+	life   []Event // non-sample events, kept forever (small)
+	ring   []Event // sample events, bounded
+	closed bool
+	subs   map[*hubSub]struct{}
+}
+
+// sampleRingCap bounds the per-job replay buffer of interval samples.
+const sampleRingCap = 1024
+
+// subBufCap is each subscriber's channel buffer; a subscriber falling
+// more than this far behind starts losing (replayable) samples.
+const subBufCap = 256
+
+type hubSub struct {
+	ch      chan Event
+	dropped int64
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: map[*hubSub]struct{}{}}
+}
+
+// publish appends an event (marshaling v as its payload) and fans it
+// out. Terminal events close the stream: subscribers' channels are
+// closed after delivery and further publishes are ignored.
+func (h *eventHub) publish(typ string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"event encode failed"}`)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.nextID++
+	ev := Event{ID: h.nextID, Type: typ, Data: data}
+	if typ == "sample" {
+		h.ring = append(h.ring, ev)
+		if len(h.ring) > sampleRingCap {
+			h.ring = h.ring[len(h.ring)-sampleRingCap:]
+		}
+	} else {
+		h.life = append(h.life, ev)
+	}
+	terminal := ev.IsTerminal()
+	if terminal {
+		h.closed = true
+	}
+	for sub := range h.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+		}
+		if terminal {
+			close(sub.ch)
+			delete(h.subs, sub)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe returns the replayable history after afterID (in ID order)
+// and, when the stream is still open, a live channel plus a cancel
+// function. For a closed stream the channel is nil and the replay
+// already ends with the terminal event.
+func (h *eventHub) subscribe(afterID int64) (replay []Event, ch <-chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = h.historyLocked(afterID)
+	if h.closed {
+		return replay, nil, func() {}
+	}
+	sub := &hubSub{ch: make(chan Event, subBufCap)}
+	h.subs[sub] = struct{}{}
+	return replay, sub.ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[sub]; ok {
+			delete(h.subs, sub)
+			close(sub.ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// history returns the merged replay buffer after afterID, in ID order.
+func (h *eventHub) history(afterID int64) []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.historyLocked(afterID)
+}
+
+func (h *eventHub) historyLocked(afterID int64) []Event {
+	// life and ring are each ID-ordered; merge them.
+	out := make([]Event, 0, len(h.life)+len(h.ring))
+	i, j := 0, 0
+	for i < len(h.life) || j < len(h.ring) {
+		var ev Event
+		switch {
+		case i >= len(h.life):
+			ev, j = h.ring[j], j+1
+		case j >= len(h.ring):
+			ev, i = h.life[i], i+1
+		case h.life[i].ID < h.ring[j].ID:
+			ev, i = h.life[i], i+1
+		default:
+			ev, j = h.ring[j], j+1
+		}
+		if ev.ID > afterID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

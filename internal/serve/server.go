@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
+	"udpsim/internal/sim"
+)
+
+// ServerConfig sizes the daemon.
+type ServerConfig struct {
+	// Store is the persistent result store (nil = in-memory only; the
+	// /v1/results endpoint then 404s everything).
+	Store *Store
+	// Workers is the number of jobs run concurrently (default 1).
+	Workers int
+	// MaxQueue bounds queued jobs (admission control; default 64).
+	MaxQueue int
+	// JobTimeout caps one job's runtime (0 = unlimited).
+	JobTimeout time.Duration
+	// Parallelism is per-job grid-cell concurrency (0 = GOMAXPROCS).
+	Parallelism int
+	// Interval is the obs sampling interval in cycles for the SSE
+	// event stream (0 disables "sample" events; default 10000).
+	Interval uint64
+	// Log receives request/lifecycle logs (nil = discard).
+	Log *slog.Logger
+}
+
+// Server wires the scheduler, the store and the experiment engine into
+// an HTTP surface. Build with NewServer, mount Handler, and call
+// Drain on shutdown.
+type Server struct {
+	cfg       ServerConfig
+	log       *slog.Logger
+	sched     *Scheduler
+	startedAt time.Time
+	ready     atomic.Bool
+}
+
+// NewServer builds a server and installs its store as the experiment
+// engine's read-through layer (experiments.SetResultStore). The server
+// starts ready; Drain flips readiness off.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 10_000
+	}
+	s := &Server{cfg: cfg, log: cfg.Log, startedAt: time.Now()}
+	if cfg.Store != nil {
+		experiments.SetResultStore(cfg.Store)
+	}
+	s.sched = NewScheduler(SchedulerConfig{
+		Workers:    cfg.Workers,
+		MaxQueue:   cfg.MaxQueue,
+		JobTimeout: cfg.JobTimeout,
+		Run:        s.runJob,
+		Log:        cfg.Log,
+	})
+	s.ready.Store(true)
+	return s
+}
+
+// Scheduler exposes the underlying queue (tests, cmd wiring).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// runJob executes one job through the engine's memoized, store-backed
+// descriptor runner, forwarding per-cell progress and per-interval obs
+// samples to the job's event hub (the SSE feed).
+func (s *Server) runJob(ctx context.Context, j *Job) ([]experiments.DescriptorResult, error) {
+	opts := experiments.Options{
+		Context:  ctx,
+		Interval: s.cfg.Interval,
+		OnSample: func(sample obs.IntervalSample) { j.hub.publish("sample", sample) },
+	}
+	progress := func(line string) {
+		j.hub.publish("progress", map[string]string{"line": line})
+	}
+	return experiments.RunDescriptorObserved(j.Descriptor, progress, s.cfg.Parallelism, opts)
+}
+
+// Drain stops admission, cancels queued jobs, lets running jobs finish
+// until ctx expires, and flips /readyz to 503 — the SIGTERM path.
+func (s *Server) Drain(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.sched.Drain(ctx)
+}
+
+// maxDescriptorBytes bounds POST /v1/jobs bodies.
+const maxDescriptorBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs              submit an experiment descriptor
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status (cells + result keys)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/jobs/{id}/events  SSE stream (progress, samples, terminal)
+//	GET    /v1/results/{key}     content-addressed result record
+//	GET    /v1/mechanisms        registered mechanism registry
+//	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 while draining)
+//	GET    /debug/vars           expvar (queue depth, dedup, store hit-rate)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/mechanisms", s.handleMechanisms)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	body := APIError{Error: err.Error()}
+	if ve := experiments.AsValidationError(err); ve != nil {
+		body.Fields = ve.Fields
+	}
+	writeJSON(w, code, body)
+}
+
+// clientID identifies the submitting client for the fair queue: the
+// X-UDPSim-Client header when present, else the remote address.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-UDPSim-Client"); c != "" {
+		return c
+	}
+	return r.RemoteAddr
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	d, err := experiments.ParseDescriptor(io.LimitReader(r.Body, maxDescriptorBytes))
+	if err != nil {
+		// Structured 400: the validation error's field list maps each
+		// problem to its descriptor field, and the unknown-mechanism
+		// reason carries the registered-mechanism list just like the
+		// CLIs' -list-mechanisms hint.
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	priority := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		priority, err = strconv.Atoi(p)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad priority %q: %w", p, err))
+			return
+		}
+	}
+	job, deduped, err := s.sched.Submit(d, clientID(r), priority)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	v := job.view(true)
+	v.Deduped = deduped
+	code := http.StatusAccepted
+	if job.State().Terminal() {
+		code = http.StatusOK // deduped onto an already-finished job
+	}
+	writeJSON(w, code, v)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.JobList()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view(false))
+	}
+	sort.Slice(views, func(i, k int) bool { return views[i].Created < views[k].Created })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel("canceled by client")
+	writeJSON(w, http.StatusOK, j.view(false))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		return
+	}
+	var afterID int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		afterID, _ = strconv.ParseInt(v, 10, 64)
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		afterID, _ = strconv.ParseInt(v, 10, 64)
+	}
+	replay, ch, cancel := j.Events().subscribe(afterID)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	last := afterID
+	writeEv := func(ev Event) bool {
+		fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.ID, ev.Data)
+		last = ev.ID
+		fl.Flush()
+		return !ev.IsTerminal()
+	}
+	for _, ev := range replay {
+		if !writeEv(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		return // stream already closed; replay ended with the terminal event
+	}
+	ping := time.NewTicker(15 * time.Second)
+	defer ping.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				// Terminal published (possibly while our buffer was
+				// full): replay the tail we missed, which is
+				// guaranteed to contain the terminal event.
+				for _, ev := range j.Events().history(last) {
+					if !writeEv(ev) {
+						return
+					}
+				}
+				return
+			}
+			if !writeEv(ev) {
+				return
+			}
+		case <-ping.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeErr(w, http.StatusNotFound, errors.New("serve: no result store configured"))
+		return
+	}
+	addr := r.PathValue("key")
+	key, res, ok, err := s.cfg.Store.LoadAddr(addr)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: no result at %q", addr))
+		return
+	}
+	writeJSON(w, http.StatusOK, StoredResult{Key: key, Addr: addr, Result: res})
+}
+
+func (s *Server) handleMechanisms(w http.ResponseWriter, r *http.Request) {
+	type mech struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	var out []mech
+	for _, d := range sim.MechanismDescriptors() {
+		out = append(out, mech{Name: string(d.Name), Doc: d.Doc})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mechanisms": out})
+}
+
+func (s *Server) health() Health {
+	return Health{
+		Status:     "ok",
+		UptimeSecs: int64(time.Since(s.startedAt).Seconds()),
+		QueueDepth: s.sched.QueueDepth(),
+		Draining:   s.sched.Draining(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	if !s.ready.Load() || h.Draining {
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"udpsim/internal/sim"
+)
+
+func testResult(key string, ipc float64) sim.Result {
+	return sim.Result{Workload: key, IPC: ipc, Cycles: 1000, Instructions: uint64(ipc * 1000)}
+}
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	key := "workload=mysql|mech=udp|sp=1"
+	want := testResult("mysql", 1.25)
+	if err := s.Save(key, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, ok, err := s.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("Load mismatch: got %+v want %+v", got, want)
+	}
+	// A second store over the same directory (fresh LRU) must read the
+	// record from disk — the daemon-restart path.
+	s2, err := OpenStore(s.Dir(), 0, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got2, ok, err := s2.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load after reopen: ok=%v err=%v", ok, err)
+	}
+	if got2 != want {
+		t.Fatalf("reopened Load mismatch: got %+v", got2)
+	}
+	// LoadAddr resolves the content address back to (key, result).
+	addr := ResultAddr(key)
+	key2, got3, ok, err := s2.LoadAddr(addr)
+	if err != nil || !ok || key2 != key || got3 != want {
+		t.Fatalf("LoadAddr: key=%q ok=%v err=%v", key2, ok, err)
+	}
+	if _, _, ok, _ := s2.LoadAddr("zz-not-an-address"); ok {
+		t.Fatal("LoadAddr accepted a malformed address")
+	}
+}
+
+func TestStoreMissingIsMiss(t *testing.T) {
+	s := openTestStore(t)
+	if _, ok, err := s.Load("never saved"); ok || err != nil {
+		t.Fatalf("Load of absent key: ok=%v err=%v", ok, err)
+	}
+}
+
+// corrupt mutates the committed record for key via fn and clears the
+// LRU by reopening the store, so the next Load hits disk.
+func corrupt(t *testing.T, s *Store, key string, fn func([]byte) []byte) *Store {
+	t.Helper()
+	path := s.objectPath(ResultAddr(key))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading record: %v", err)
+	}
+	if err := os.WriteFile(path, fn(blob), 0o644); err != nil {
+		t.Fatalf("writing corrupt record: %v", err)
+	}
+	s2, err := OpenStore(s.Dir(), 0, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return s2
+}
+
+func quarantineCount(t *testing.T, s *Store) int {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if err != nil {
+		t.Fatalf("reading quarantine: %v", err)
+	}
+	return len(ents)
+}
+
+func TestStoreTruncatedRecordQuarantined(t *testing.T) {
+	s := openTestStore(t)
+	key := "trunc-key"
+	if err := s.Save(key, testResult("w", 2.0)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	s = corrupt(t, s, key, func(b []byte) []byte { return b[:len(b)-7] })
+	if _, ok, err := s.Load(key); ok || err != nil {
+		t.Fatalf("truncated record served: ok=%v err=%v", ok, err)
+	}
+	if n := quarantineCount(t, s); n != 1 {
+		t.Fatalf("quarantine count = %d, want 1", n)
+	}
+	if _, err := os.Stat(s.objectPath(ResultAddr(key))); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record still in objects/: %v", err)
+	}
+	// The slot is recomputable: a fresh Save must land and be served.
+	want := testResult("w", 2.0)
+	if err := s.Save(key, want); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	got, ok, err := s.Load(key)
+	if err != nil || !ok || got != want {
+		t.Fatalf("Load after re-Save: got %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestStoreBitFlipQuarantined(t *testing.T) {
+	s := openTestStore(t)
+	key := "flip-key"
+	if err := s.Save(key, testResult("w", 3.0)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	s = corrupt(t, s, key, func(b []byte) []byte {
+		b[len(b)-3] ^= 0x40 // flip a bit inside the payload
+		return b
+	})
+	if _, ok, err := s.Load(key); ok || err != nil {
+		t.Fatalf("bit-flipped record served: ok=%v err=%v", ok, err)
+	}
+	if n := quarantineCount(t, s); n != 1 {
+		t.Fatalf("quarantine count = %d, want 1", n)
+	}
+}
+
+func TestStoreMisfiledRecordNotServed(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.Save("key-a", testResult("a", 1.0)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// File key-a's (internally consistent) record under key-b's address.
+	blob, err := os.ReadFile(s.objectPath(ResultAddr("key-a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := s.objectPath(ResultAddr("key-b"))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("key-b"); ok || err != nil {
+		t.Fatalf("misfiled record served under the wrong key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreLRUBounded(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k1", "k2", "k3", "k4", "k5"}
+	for i, k := range keys {
+		if err := s.Save(k, testResult(k, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.LRULen(); n != 3 {
+		t.Fatalf("LRULen = %d, want 3", n)
+	}
+	// Evicted entries are still on disk.
+	for _, k := range keys {
+		if _, ok, err := s.Load(k); !ok || err != nil {
+			t.Fatalf("Load(%s) after eviction: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestStoreStaleTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "tmp", "deadbeef.12345")
+	if err := os.WriteFile(stale, []byte("partial write from a crashed daemon"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp file survived OpenStore: %v", err)
+	}
+}
+
+func TestResultAddrShape(t *testing.T) {
+	addr := ResultAddr("some key")
+	if len(addr) != 64 || strings.ToLower(addr) != addr {
+		t.Fatalf("ResultAddr not lowercase hex sha256: %q", addr)
+	}
+	if ResultAddr("some key") != addr {
+		t.Fatal("ResultAddr not deterministic")
+	}
+	if ResultAddr("other key") == addr {
+		t.Fatal("ResultAddr collision on distinct keys")
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunCtxCancelInterruptsMachine verifies the cooperative
+// cancellation poll inside the cycle loop: a canceled context stops a
+// machine mid-region in bounded time instead of running out its full
+// instruction budget.
+func TestRunCtxCancelInterruptsMachine(t *testing.T) {
+	cfg := testConfig(MechBaseline)
+	cfg.MaxInstructions = 2_000_000_000 // must end by cancel, not completion
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = m.RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s — poll stride too coarse", elapsed)
+	}
+}
+
+// TestRunCtxNilContextCompletes keeps the legacy Run path intact: a
+// nil context never polls and the run completes normally.
+func TestRunCtxNilContextCompletes(t *testing.T) {
+	m, err := NewMachine(testConfig(MechBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.RunCtx(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Fatalf("IPC = %v", r.IPC)
+	}
+}
+
+// TestRunSimpointsCtxPreCanceled: an already-canceled context fails
+// before simulating any region.
+func TestRunSimpointsCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err := RunSimpointsCtx(ctx, testConfig(MechBaseline), 3, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("pre-canceled RunSimpointsCtx did not fail fast")
+	}
+}

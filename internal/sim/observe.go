@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -139,6 +140,20 @@ func (m *Machine) obsFlush() {
 // be shared across machines). A nil attach degrades to the plain
 // parallel runner.
 func RunSimpointsObserved(cfg Config, n, parallelism int, attach func(region int, m *Machine)) ([]Result, Result, error) {
+	return RunSimpointsCtx(context.Background(), cfg, n, parallelism, attach)
+}
+
+// RunSimpointsCtx is the fully-featured simpoint runner: parallel
+// regions, per-region observer attach, and cooperative cancellation.
+// When ctx is canceled the in-flight regions stop within a few
+// thousand simulated cycles (see Machine.RunCtx), regions not yet
+// started are skipped, and the joined error contains ctx.Err() — so a
+// daemon job timeout or client cancellation actually frees the worker
+// pool instead of simulating to completion.
+func RunSimpointsCtx(ctx context.Context, cfg Config, n, parallelism int, attach func(region int, m *Machine)) ([]Result, Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		n = 1
 	}
@@ -152,9 +167,19 @@ func RunSimpointsObserved(cfg Config, n, parallelism int, attach func(region int
 	if parallelism > n {
 		parallelism = n
 	}
+	// Background contexts never cancel; skip the per-cycle polling
+	// entirely so the common path stays byte-identical to the seed.
+	runCtx := ctx
+	if ctx.Done() == nil {
+		runCtx = nil
+	}
 	results := make([]Result, n)
 	errs := make([]error, n)
 	runRegion := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		c := cfg
 		c.SeedSalt = uint64(i) * 7919
 		m, err := NewMachineWithProgram(c, prog)
@@ -165,7 +190,7 @@ func RunSimpointsObserved(cfg Config, n, parallelism int, attach func(region int
 		if attach != nil {
 			attach(i, m)
 		}
-		results[i] = m.Run()
+		results[i], errs[i] = m.RunCtx(runCtx)
 	}
 	if parallelism <= 1 {
 		for i := 0; i < n; i++ {

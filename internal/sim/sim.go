@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"udpsim/internal/backend"
@@ -432,6 +433,20 @@ func (m *Machine) Step() {
 // Run simulates until MaxInstructions retire (after warmup) and
 // returns the result. A zero MaxInstructions runs 1M instructions.
 func (m *Machine) Run() Result {
+	r, err := m.RunCtx(nil)
+	if err != nil {
+		// Unreachable: a nil context never cancels.
+		panic(err)
+	}
+	return r
+}
+
+// RunCtx is Run with cooperative cancellation: the cycle loop polls
+// ctx every cancelCheckStride cycles (cheap — one atomic load every few
+// microseconds of simulation) and returns ctx's error as soon as it is
+// observed, discarding the partial region. A nil or background context
+// degrades to the plain uncancellable Run.
+func (m *Machine) RunCtx(ctx context.Context) (Result, error) {
 	maxInstr := m.cfg.MaxInstructions
 	if maxInstr == 0 {
 		maxInstr = 1_000_000
@@ -444,20 +459,35 @@ func (m *Machine) Run() Result {
 		if m.obs != nil {
 			iv, m.obs.Interval = m.obs.Interval, 0
 		}
-		m.RunInstructions(w)
+		if err := m.runInstructions(w, ctx); err != nil {
+			return Result{}, err
+		}
 		m.ResetStats()
 		if m.obs != nil {
 			m.obs.Interval = iv
 		}
 	}
-	m.RunInstructions(maxInstr)
+	if err := m.runInstructions(maxInstr, ctx); err != nil {
+		return Result{}, err
+	}
 	m.obsFlush()
-	return m.Snapshot()
+	return m.Snapshot(), nil
 }
+
+// cancelCheckStride is how many cycles elapse between context polls in
+// the run loop: frequent enough that cancellation latency is a few
+// milliseconds of wall time, rare enough that the poll is invisible in
+// BenchmarkMachineStep-scale profiles.
+const cancelCheckStride = 4096
 
 // RunInstructions advances until n more instructions retire. A safety
 // bound of 400 cycles/instruction guards against modelling deadlock.
 func (m *Machine) RunInstructions(n uint64) {
+	// A nil context never cancels, so the error path is unreachable.
+	_ = m.runInstructions(n, nil)
+}
+
+func (m *Machine) runInstructions(n uint64, ctx context.Context) error {
 	target := m.BE.Stats.Retired + n
 	limit := m.cycle + n*400 + 1_000_000
 	for m.BE.Stats.Retired < target {
@@ -466,7 +496,13 @@ func (m *Machine) RunInstructions(n uint64) {
 			panic(fmt.Sprintf("sim: no forward progress (retired %d of target %d at cycle %d)",
 				m.BE.Stats.Retired, target, m.cycle))
 		}
+		if ctx != nil && m.cycle%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 // ResetStats clears all accumulated statistics (end of warmup) while
