@@ -37,6 +37,7 @@ func main() {
 		out      = flag.String("o", "", "CSV output path (default stdout)")
 		base     = flag.String("speedup-base", "", "also print per-workload speedups over this config label")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
+		batch    = flag.Bool("batch", false, "lockstep-batch grid cells sharing a workload image (one shared instruction stream per batch; CSV is byte-identical)")
 		verbose  = flag.Bool("v", false, "print per-run progress (debug-level logs)")
 
 		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every simulated cell (.csv or .jsonl)")
@@ -82,6 +83,7 @@ func main() {
 		*interval = 10_000
 	}
 	var obsOpts experiments.Options
+	obsOpts.Batch = *batch
 	if *metricsOut != "" {
 		mf, err := os.Create(*metricsOut)
 		if err != nil {

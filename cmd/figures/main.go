@@ -49,6 +49,7 @@ func main() {
 		apps      = flag.String("workloads", "", "comma-separated workload subset")
 		svgDir    = flag.String("svg", "", "also write FigureNN.svg files into this directory")
 		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical at any -j")
+		batch     = flag.Bool("batch", false, "lockstep-batch grid cells sharing a workload image (one shared instruction stream per batch; output is byte-identical)")
 		verbose   = flag.Bool("v", false, "print per-run progress (debug-level logs)")
 
 		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every simulated cell (.csv or .jsonl)")
@@ -96,6 +97,7 @@ func main() {
 		o.Workloads = strings.Split(*apps, ",")
 	}
 	o.Parallelism = *parallel
+	o.Batch = *batch
 	if *verbose {
 		o.Progress = func(s string) { logger.Debug("run done", "run", s) }
 	}

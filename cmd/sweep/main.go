@@ -31,6 +31,7 @@ func main() {
 		instrs   = flag.Uint64("instrs", 500_000, "instructions per run")
 		warmup   = flag.Uint64("warmup", 500_000, "warmup instructions")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
+		batch    = flag.Bool("batch", false, "lockstep-batch the sweep over one shared instruction stream (CSV is byte-identical)")
 		verbose  = flag.Bool("v", false, "debug-level progress logs")
 
 		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every swept run (.csv or .jsonl)")
@@ -79,33 +80,60 @@ func main() {
 		metrics = obs.NewMetricsWriter(f, obs.FormatForPath(*metricsOut))
 	}
 
-	// Run the whole grid on a bounded worker pool; results land in
-	// grid order so the CSV is identical at any -j.
-	results := make([]sim.Result, len(grid))
-	err = experiments.ForEach(len(grid), *parallel, func(i int) error {
+	cellConfig := func(i int) sim.Config {
 		cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
 		cfg.MaxInstructions = *instrs
 		cfg.WarmupInstructions = *warmup
 		applyParam(&cfg, *param, grid[i])
-		m, err := sim.NewMachineWithProgram(cfg, prog)
-		if err != nil {
-			return fmt.Errorf("value %d: %w", grid[i], err)
+		return cfg
+	}
+	// One observer per machine; the metrics writer serializes the
+	// concurrently swept runs. The swept value is stamped into the
+	// salt column so rows stay attributable.
+	attach := func(i int, m *sim.Machine) {
+		if metrics == nil {
+			return
 		}
-		if metrics != nil {
-			// One observer per machine; the metrics writer serializes
-			// the concurrently swept runs. The swept value is stamped
-			// into the salt column so rows stay attributable.
-			o := &obs.Observer{
-				Interval: *interval,
-				OnSample: func(s obs.IntervalSample) { _ = metrics.Write(s) },
+		o := &obs.Observer{
+			Interval: *interval,
+			OnSample: func(s obs.IntervalSample) { _ = metrics.Write(s) },
+		}
+		m.AttachObserver(o)
+		o.Salt = uint64(grid[i])
+	}
+
+	// Run the whole grid; results land in grid order so the CSV is
+	// identical at any -j, batched or not.
+	results := make([]sim.Result, len(grid))
+	if *batch {
+		// Lockstep mode: every swept machine reads one shared tape of
+		// the workload's architectural stream instead of re-executing
+		// it per cell.
+		cfgs := make([]sim.Config, len(grid))
+		for i := range grid {
+			cfgs[i] = cellConfig(i)
+		}
+		res, errs := sim.RunBatchCtx(nil, cfgs, *parallel, attach)
+		for i, e := range errs {
+			if e != nil {
+				err = fmt.Errorf("value %d: %w", grid[i], e)
+				break
 			}
-			m.AttachObserver(o)
-			o.Salt = uint64(grid[i])
+			results[i] = res[i]
+			log.Debug("sweep cell done", "param", *param, "value", grid[i], "ipc", results[i].IPC)
 		}
-		results[i] = m.Run()
-		log.Debug("sweep cell done", "param", *param, "value", grid[i], "ipc", results[i].IPC)
-		return nil
-	})
+	} else {
+		err = experiments.ForEach(len(grid), *parallel, func(i int) error {
+			m, err := sim.NewMachineWithProgram(cellConfig(i), prog)
+			if err != nil {
+				return fmt.Errorf("value %d: %w", grid[i], err)
+			}
+			attach(i, m)
+			results[i] = m.Run()
+			log.Debug("sweep cell done", "param", *param, "value", grid[i], "ipc", results[i].IPC)
+			return nil
+		})
+	}
 	if err != nil {
 		fatal("sweep failed", "err", err)
 	}

@@ -48,6 +48,8 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job runtime cap (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget for running jobs")
 		interval     = flag.Uint64("interval", 10_000, "SSE metrics sampling interval in cycles (0 disables samples)")
+		batch        = flag.Bool("batch", false, "lockstep-batch grid cells sharing a workload image and coalesce queued jobs that share one (results are byte-identical)")
+		coalesce     = flag.Int("coalesce", 4, "max queued jobs merged into one batched run (with -batch)")
 		lru          = flag.Int("lru", serve.DefaultLRUEntries, "in-memory store read cache entries")
 		pprofAddr    = flag.String("pprof", "", "serve live pprof+expvar on this extra address (e.g. :6060)")
 		verbose      = flag.Bool("v", false, "debug-level logs")
@@ -79,6 +81,8 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		Parallelism: *parallel,
 		Interval:    *interval,
+		Batch:       *batch,
+		MaxCoalesce: *coalesce,
 		Log:         log,
 	})
 

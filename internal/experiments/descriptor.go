@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -248,10 +249,11 @@ func CellKey(d *Descriptor, workloadName string, cs ConfigSpec) string {
 }
 
 // RunDescriptorObserved is RunDescriptor with obsOpts's observability
-// knobs (Interval, Metrics, OnSample) applied to every simulated cell
-// and obsOpts.Context cancelling the grid. Other obsOpts fields
-// (Instructions, Warmup, Simpoints, Workloads) are ignored — the
-// descriptor owns those. A zero obsOpts degrades to the plain runner.
+// knobs (Interval, Metrics, OnSample) applied to every simulated cell,
+// obsOpts.Context cancelling the grid, and obsOpts.Batch selecting the
+// lockstep-batched engine path. Other obsOpts fields (Instructions,
+// Warmup, Simpoints, Workloads) are ignored — the descriptor owns
+// those. A zero obsOpts degrades to the plain runner.
 //
 // Cells run through the engine's memoized, store-backed path
 // (Options.run): identical cells across descriptors, figures, or
@@ -259,48 +261,142 @@ func CellKey(d *Descriptor, workloadName string, cs ConfigSpec) string {
 // store is installed, previously computed cells load from disk. Cached
 // and store-served cells emit no interval samples (nothing simulates).
 func RunDescriptorObserved(d *Descriptor, progress func(string), parallelism int, obsOpts Options) ([]DescriptorResult, error) {
-	type cell struct {
-		workload string
-		spec     ConfigSpec
+	out, errs := runDescriptorGrids([]DescriptorJob{{D: d, Progress: progress, Opts: obsOpts}}, parallelism)
+	if errs[0] != nil {
+		return nil, errs[0]
 	}
-	var cells []cell
-	for _, w := range d.Workloads {
-		for _, cs := range d.Configs {
-			cells = append(cells, cell{workload: w, spec: cs})
+	return out[0], nil
+}
+
+// DescriptorJob pairs one descriptor with its per-job progress sink and
+// engine options (observability hooks, context, Batch).
+type DescriptorJob struct {
+	D        *Descriptor
+	Progress func(string)
+	Opts     Options
+}
+
+// RunDescriptorsBatched executes several descriptor grids as one merged
+// cell pool with lockstep batching forced on — the daemon's
+// job-coalescing entry point: queued jobs that share a workload image
+// land in the same batches, so their streams are produced once across
+// jobs, not once per job. Results and errors are per job, in input
+// order; per-job observability hooks and progress sinks are preserved
+// per cell. ctx (when non-nil) overrides every job's own context — the
+// caller owns merged-cancellation policy.
+func RunDescriptorsBatched(ctx context.Context, jobs []DescriptorJob, parallelism int) ([][]DescriptorResult, []error) {
+	for i := range jobs {
+		jobs[i].Opts.Batch = true
+		if ctx != nil {
+			jobs[i].Opts.Context = ctx
 		}
 	}
-	// Per-cell engine options: the descriptor's effort knobs, the
-	// caller's observability hooks, no engine-level progress (the
-	// descriptor layer prints its own labeled lines below).
-	cellOpts := Options{
-		Instructions: d.Instructions,
-		Warmup:       d.Warmup,
-		Simpoints:    d.Simpoints,
-		Context:      obsOpts.Context,
-		Interval:     obsOpts.Interval,
-		Metrics:      obsOpts.Metrics,
-		OnSample:     obsOpts.OnSample,
+	return runDescriptorGrids(jobs, parallelism)
+}
+
+// runDescriptorGrids is the shared descriptor engine: it materializes
+// every job's (workload × config) grid, runs the merged pool — batched
+// (one lockstep group per workload image, spanning jobs) when any job
+// asks for it, per-cell otherwise — and splits results back per job.
+func runDescriptorGrids(jobs []DescriptorJob, parallelism int) ([][]DescriptorResult, []error) {
+	type cell struct {
+		job      int
+		workload string
+		spec     ConfigSpec
+		opts     Options
 	}
-	out := make([]DescriptorResult, len(cells))
-	err := ForEachCtx(cellOpts.ctx(), len(cells), parallelism, func(i int) error {
+	var cells []cell
+	batch := false
+	jobOpts := make([]Options, len(jobs))
+	for j, job := range jobs {
+		d := job.D
+		// Per-cell engine options: the descriptor's effort knobs, the
+		// caller's observability hooks, no engine-level progress (the
+		// descriptor layer prints its own labeled lines below).
+		jobOpts[j] = Options{
+			Instructions: d.Instructions,
+			Warmup:       d.Warmup,
+			Simpoints:    d.Simpoints,
+			Batch:        job.Opts.Batch,
+			Context:      job.Opts.Context,
+			Interval:     job.Opts.Interval,
+			Metrics:      job.Opts.Metrics,
+			OnSample:     job.Opts.OnSample,
+		}
+		batch = batch || job.Opts.Batch
+		for _, w := range d.Workloads {
+			for _, cs := range d.Configs {
+				cells = append(cells, cell{job: j, workload: w, spec: cs, opts: jobOpts[j]})
+			}
+		}
+	}
+	out := make([][]DescriptorResult, len(jobs))
+	errs := make([]error, len(jobs))
+	pos := make([]int, len(cells)) // cell index -> slot in its job's grid
+	for i, c := range cells {
+		pos[i] = len(out[c.job])
+		out[c.job] = append(out[c.job], DescriptorResult{Workload: c.workload, Label: c.spec.Label})
+	}
+
+	emit := func(i int, agg sim.Result) {
 		c := cells[i]
-		cfg := CellConfig(d, c.workload, c.spec)
-		agg, err := cellOpts.runConfig(c.workload, sim.Mechanism(c.spec.Mechanism), cfg)
+		out[c.job][pos[i]].Result = agg
+		if p := jobs[c.job].Progress; p != nil {
+			progressMu.Lock()
+			p(fmt.Sprintf("%s/%s: IPC %.4f", c.workload, c.spec.Label, agg.IPC))
+			progressMu.Unlock()
+		}
+	}
+
+	if batch {
+		bcells := make([]batchCell, len(cells))
+		for i, c := range cells {
+			bcells[i] = batchCell{
+				name: c.workload, mech: sim.Mechanism(c.spec.Mechanism),
+				cfg: CellConfig(jobs[c.job].D, c.workload, c.spec), opts: c.opts,
+			}
+		}
+		// The merged pool runs under the first job's context; per-cell
+		// waits use the same (RunDescriptorsBatched already unified the
+		// contexts, and a single-job call has only its own).
+		res, cerrs := runCellsBatched(cells[0].opts.ctx(), bcells, parallelism, nil)
+		perJob := make([][]error, len(jobs))
+		for i, c := range cells {
+			if cerrs[i] != nil {
+				perJob[c.job] = append(perJob[c.job],
+					fmt.Errorf("experiments: %s/%s: %w", c.workload, c.spec.Label, cerrs[i]))
+				continue
+			}
+			emit(i, res[i])
+		}
+		for j := range jobs {
+			if len(perJob[j]) > 0 {
+				out[j] = nil
+				errs[j] = errors.Join(perJob[j]...)
+			}
+		}
+		return out, errs
+	}
+
+	err := ForEachCtx(cells[0].opts.ctx(), len(cells), parallelism, func(i int) error {
+		c := cells[i]
+		cfg := CellConfig(jobs[c.job].D, c.workload, c.spec)
+		agg, err := c.opts.runConfig(c.workload, sim.Mechanism(c.spec.Mechanism), cfg)
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", c.workload, c.spec.Label, err)
 		}
-		out[i] = DescriptorResult{Workload: c.workload, Label: c.spec.Label, Result: agg}
-		if progress != nil {
-			progressMu.Lock()
-			progress(fmt.Sprintf("%s/%s: IPC %.4f", c.workload, c.spec.Label, agg.IPC))
-			progressMu.Unlock()
-		}
+		emit(i, agg)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		// The per-cell path is only reached with a single job (multi-job
+		// pools force batching), so the joined grid error is the job's.
+		for j := range jobs {
+			errs[j] = err
+			out[j] = nil
+		}
 	}
-	return out, nil
+	return out, errs
 }
 
 // WriteCSV emits the descriptor results as a CSV with one row per cell.

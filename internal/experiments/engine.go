@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -67,6 +68,18 @@ func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
 	workers := o.parallelism()
 	// Live grid-cell progress for the expvar endpoint (/debug/vars).
 	obs.JobsTotal.Add(int64(len(jobs)))
+	if o.Batch {
+		cells := make([]batchCell, len(jobs))
+		for i, j := range jobs {
+			cells[i] = batchCell{
+				name: j.app, mech: j.mech,
+				cfg: o.cellConfig(j.app, j.mech, j.mutate), opts: o,
+			}
+		}
+		res, errs := runCellsBatched(o.ctx(), cells, workers, func() { obs.JobsDone.Add(1) })
+		copy(results, res)
+		return results, errors.Join(errs...)
+	}
 	err := ForEachCtx(o.ctx(), len(jobs), workers, func(i int) error {
 		var err error
 		results[i], err = o.run(jobs[i].app, jobs[i].mech, jobs[i].mutate)
@@ -74,6 +87,201 @@ func (o Options) runAll(jobs []jobSpec) ([]sim.Result, error) {
 		return err
 	})
 	return results, err
+}
+
+// maxBatchSize caps how many machines share one lockstep batch. Past
+// ~16 the scheduler's cursor scan and the per-machine cache footprint
+// eat the locality win, and 16 matches the headline 16-config sweep.
+const maxBatchSize = 16
+
+// batchCell is one grid cell of a batched run: its identity for
+// progress lines, its full config, and the Options owning its cache
+// behaviour and observability hooks (cells of a coalesced daemon group
+// carry different Options).
+type batchCell struct {
+	name string
+	mech sim.Mechanism
+	cfg  sim.Config
+	opts Options
+}
+
+// runCellsBatched is the batched counterpart of per-cell Options.run:
+// it resolves every cell against the memoized cache, the in-flight
+// table, and the persistent store exactly like runConfig does, then
+// groups the cells that actually need simulating by workload image and
+// runs each group in lockstep over one shared stream. The singleflight
+// protocol inverts from one-writer-per-cell to one-writer-per-batch:
+// this call claims every key it will simulate up front (so concurrent
+// unbatched or batched runners wait on it), publishes each key as its
+// batch completes, and only then waits for keys claimed by others —
+// claimed keys always belong to a runner already executing, so the
+// wait graph stays acyclic. onCellDone (if non-nil) fires once per
+// finalized cell (the expvar progress counter).
+func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCellDone func()) ([]sim.Result, []error) {
+	n := len(cells)
+	results := make([]sim.Result, n)
+	errs := make([]error, n)
+	done := func(int) {
+		if onCellDone != nil {
+			onCellDone()
+		}
+	}
+
+	// group is one unique cache key: the cell indices sharing it and,
+	// when this call claims the key, the inflight entry to resolve.
+	type group struct {
+		key   string
+		call  *resultCall
+		cells []int
+	}
+	var claimed []*group              // keys this call simulates, in first-cell order
+	byKey := map[string]*group{}      // claimed groups
+	waiting := map[int]*resultCall{}  // cell -> another runner's inflight entry
+	cached := map[int]sim.Result{}    // cells served from the in-memory cache
+
+	resultMu.Lock()
+	for i, c := range cells {
+		key := CacheKey(c.cfg, c.opts.Simpoints)
+		if g, ok := byKey[key]; ok {
+			g.cells = append(g.cells, i)
+			continue
+		}
+		if r, ok := resultCache[key]; ok {
+			cached[i] = r
+			continue
+		}
+		if call, ok := resultInflight[key]; ok {
+			waiting[i] = call
+			continue
+		}
+		call := &resultCall{done: make(chan struct{})}
+		resultInflight[key] = call
+		g := &group{key: key, call: call, cells: []int{i}}
+		byKey[key] = g
+		claimed = append(claimed, g)
+	}
+	resultMu.Unlock()
+
+	for i, r := range cached {
+		obs.CacheHits.Add(1)
+		results[i] = r
+		c := cells[i]
+		c.opts.progress("%s/%s ftq=%d: IPC %.4f (cached)", c.name, c.mech, r.FinalFTQDepth, r.IPC)
+		done(i)
+	}
+
+	// finish publishes one claimed key — cache, waiters, and every cell
+	// of the group — exactly once.
+	finish := func(g *group, res sim.Result, err error) {
+		resultMu.Lock()
+		if err == nil {
+			resultCache[g.key] = res
+		}
+		g.call.res, g.call.err = res, err
+		delete(resultInflight, g.key)
+		resultMu.Unlock()
+		close(g.call.done)
+		for _, i := range g.cells {
+			results[i], errs[i] = res, err
+			done(i)
+		}
+	}
+
+	// Persistent-store read-through for claimed keys; the rest simulate.
+	var toRun []*group
+	for _, g := range claimed {
+		if agg, hit := storeLoad(g.key); hit {
+			finish(g, agg, nil)
+			c := cells[g.cells[0]]
+			c.opts.progress("%s/%s ftq=%d: IPC %.4f (store)", c.name, c.mech, agg.FinalFTQDepth, agg.IPC)
+			continue
+		}
+		obs.CacheMisses.Add(1)
+		toRun = append(toRun, g)
+	}
+
+	// Group the remaining work by (workload image, simpoint count) —
+	// the identity of the shared stream — and run each group's configs
+	// in lockstep, maxBatchSize machines at a time.
+	type imageGroup struct {
+		key    string
+		groups []*group
+	}
+	var images []*imageGroup
+	byImage := map[string]*imageGroup{}
+	for _, g := range toRun {
+		c := cells[g.cells[0]]
+		ik := fmt.Sprintf("%s|sp=%d", sim.ProfileKey(c.cfg.Workload), c.opts.simpoints())
+		ig, ok := byImage[ik]
+		if !ok {
+			ig = &imageGroup{key: ik}
+			byImage[ik] = ig
+			images = append(images, ig)
+		}
+		ig.groups = append(ig.groups, g)
+	}
+	for _, ig := range images {
+		for lo := 0; lo < len(ig.groups); lo += maxBatchSize {
+			hi := lo + maxBatchSize
+			if hi > len(ig.groups) {
+				hi = len(ig.groups)
+			}
+			chunk := ig.groups[lo:hi]
+			if err := ctx.Err(); err != nil {
+				for _, g := range chunk {
+					finish(g, sim.Result{}, err)
+				}
+				continue
+			}
+			cfgs := make([]sim.Config, len(chunk))
+			atts := make([]func(int, *sim.Machine), len(chunk))
+			for k, g := range chunk {
+				c := cells[g.cells[0]]
+				cfgs[k] = c.cfg
+				atts[k] = c.opts.attach()
+			}
+			res, rerrs := sim.RunBatchSimpoints(ctx, cfgs, cells[chunk[0].cells[0]].opts.simpoints(), workers,
+				func(region, k int, m *sim.Machine) {
+					if atts[k] != nil {
+						atts[k](region, m)
+					}
+				})
+			for k, g := range chunk {
+				if rerrs[k] != nil {
+					finish(g, sim.Result{}, rerrs[k])
+					continue
+				}
+				storeSave(g.key, res[k])
+				finish(g, res[k], nil)
+				c := cells[g.cells[0]]
+				c.opts.progress("%s/%s ftq=%d: IPC %.4f", c.name, c.mech, res[k].FinalFTQDepth, res[k].IPC)
+			}
+		}
+	}
+
+	// Finally resolve cells whose keys another runner claimed. That
+	// runner held a worker slot before we claimed anything, so it
+	// completes (or cancels) independently of us.
+	for i, call := range waiting {
+		obs.CacheInflightWaits.Add(1)
+		c := cells[i]
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			done(i)
+			continue
+		}
+		if call.err != nil {
+			errs[i] = call.err
+			done(i)
+			continue
+		}
+		results[i] = call.res
+		c.opts.progress("%s/%s ftq=%d: IPC %.4f (cached)", c.name, c.mech, call.res.FinalFTQDepth, call.res.IPC)
+		done(i)
+	}
+	return results, errs
 }
 
 // ForEach runs fn(i) for i in [0, n) on a bounded worker pool of the

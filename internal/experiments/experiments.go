@@ -41,6 +41,14 @@ type Options struct {
 	// arrive in completion order, not grid order.
 	Progress func(string)
 
+	// Batch groups grid cells that share a workload image (and simpoint
+	// count) into lockstep batches: each group's architectural stream is
+	// produced once per simpoint (sim.RunBatchSimpoints over a shared
+	// workload tape) instead of once per cell. Results are bit-identical
+	// to unbatched runs — the cache, the persistent store, and every
+	// figure see the exact same values — so this is purely a speed knob.
+	Batch bool
+
 	// Context, when non-nil, cancels in-flight and pending simulations:
 	// running machines stop within a few thousand simulated cycles,
 	// queued grid cells are skipped, and the aggregated error contains
@@ -84,6 +92,15 @@ func QuickOptions() Options {
 		Warmup:       150_000,
 		Simpoints:    1,
 	}
+}
+
+// simpoints normalizes the simpoint count the way CacheKey and the
+// simpoint runners do (zero means one region).
+func (o Options) simpoints() int {
+	if o.Simpoints <= 0 {
+		return 1
+	}
+	return o.Simpoints
 }
 
 func (o Options) workloads() []string {

@@ -12,24 +12,51 @@ type InstrSource interface {
 	Next() isa.DynInstr
 }
 
+// RandomAccessSource is an InstrSource that can additionally serve any
+// position it has already produced (within its own retention window) in
+// O(1) — e.g. a workload.TapeReader over a shared batch tape. When the
+// oracle stream detects one, it skips its ring buffer entirely: records
+// are read in place instead of being generated into and copied out of a
+// per-machine window.
+type RandomAccessSource interface {
+	InstrSource
+	At(i uint64) isa.DynInstr
+}
+
 // oracleWindow bounds how far back the oracle stream can rewind. It must
 // exceed the maximum number of in-flight instructions (FTQ blocks ×
 // instructions per block + ROB); 1<<13 = 8192 is comfortably larger.
 const oracleWindow = 1 << 13
 
+// OracleWindow exports the rewind bound so stream providers (the
+// workload tape) can assert their retention window covers it.
+const OracleWindow = oracleWindow
+
 // OracleStream buffers the architectural execution so the frontend can
 // consume it speculatively and rewind to a divergence point on recovery.
 // Positions are absolute instruction indices starting at 0.
+//
+// With a plain sequential source the stream owns a ring of the last
+// oracleWindow records. With a RandomAccessSource the ring is not even
+// allocated: the source is the buffer, and the stream only tracks the
+// cursor and the high-water mark for the rewind-window check.
 type OracleStream struct {
 	exec   InstrSource
-	buf    [oracleWindow]isa.DynInstr
-	filled uint64 // number of records generated so far
-	cursor uint64 // next position to consume
+	ra     RandomAccessSource // non-nil selects the direct (ring-free) mode
+	buf    []isa.DynInstr     // ring of oracleWindow records; nil in direct mode
+	filled uint64             // number of records generated so far
+	cursor uint64             // next position to consume
 }
 
 // NewOracleStream wraps an instruction source.
 func NewOracleStream(exec InstrSource) *OracleStream {
-	return &OracleStream{exec: exec}
+	o := &OracleStream{exec: exec}
+	if ra, ok := exec.(RandomAccessSource); ok {
+		o.ra = ra
+	} else {
+		o.buf = make([]isa.DynInstr, oracleWindow)
+	}
+	return o
 }
 
 // At returns the oracle record at absolute position i, generating
@@ -38,6 +65,12 @@ func NewOracleStream(exec InstrSource) *OracleStream {
 func (o *OracleStream) At(i uint64) isa.DynInstr {
 	if i+oracleWindow < o.filled {
 		panic(fmt.Sprintf("frontend: oracle rewind beyond window (want %d, filled %d)", i, o.filled))
+	}
+	if o.ra != nil {
+		if i >= o.filled {
+			o.filled = i + 1
+		}
+		return o.ra.At(i)
 	}
 	for o.filled <= i {
 		o.buf[o.filled%oracleWindow] = o.exec.Next()

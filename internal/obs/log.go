@@ -94,6 +94,9 @@ var (
 	DaemonJobsCompleted = expvar.NewInt("udpsimd.jobs.completed")
 	DaemonJobsFailed    = expvar.NewInt("udpsimd.jobs.failed")
 	DaemonJobsCanceled  = expvar.NewInt("udpsimd.jobs.canceled")
+	// DaemonJobsCoalesced counts queued jobs absorbed into another
+	// job's lockstep-batched run because they share a workload image.
+	DaemonJobsCoalesced = expvar.NewInt("udpsimd.jobs.coalesced")
 	// DaemonQueueDepth is the instantaneous number of queued (not yet
 	// running) jobs.
 	DaemonQueueDepth = expvar.NewInt("udpsimd.queue.depth")

@@ -174,6 +174,12 @@ func JobID(d *experiments.Descriptor) string {
 // drain.
 type RunFunc func(ctx context.Context, job *Job) ([]experiments.DescriptorResult, error)
 
+// RunGroupFunc executes several coalesced jobs as one merged run (the
+// lockstep-batched pool). Results and errors are per job, in input
+// order. The scheduler cancels ctx on timeout, forced drain, or once
+// every job in the group has been canceled.
+type RunGroupFunc func(ctx context.Context, jobs []*Job) ([][]experiments.DescriptorResult, []error)
+
 // SchedulerConfig sizes the scheduler.
 type SchedulerConfig struct {
 	// Workers is the number of jobs run concurrently (default 1).
@@ -183,10 +189,17 @@ type SchedulerConfig struct {
 	// submissions beyond it are rejected with ErrQueueFull (HTTP 429).
 	// Default 64.
 	MaxQueue int
-	// JobTimeout caps one job's run time (0 = unlimited).
+	// JobTimeout caps one job's run time (0 = unlimited; for a
+	// coalesced group the cap covers the whole merged run).
 	JobTimeout time.Duration
 	// Run executes a job (required).
 	Run RunFunc
+	// RunGroup, when set together with MaxCoalesce > 1, executes a
+	// group of queued jobs sharing a workload image as one merged run.
+	RunGroup RunGroupFunc
+	// MaxCoalesce caps how many queued jobs one merged run may absorb
+	// (<= 1 disables coalescing).
+	MaxCoalesce int
 	// Log receives scheduler lifecycle logs (nil = discard).
 	Log *slog.Logger
 }
@@ -410,7 +423,166 @@ func (s *Scheduler) worker() {
 		if j == nil {
 			return
 		}
-		s.runJob(j)
+		if group := s.coalesce(j); len(group) > 1 {
+			s.runGroup(group)
+		} else {
+			s.runJob(j)
+		}
+	}
+}
+
+// sharesImage reports whether two descriptors have a workload in
+// common — the condition under which batching their grids shares an
+// instruction stream.
+func sharesImage(a, b *experiments.Descriptor) bool {
+	for _, wa := range a.Workloads {
+		for _, wb := range b.Workloads {
+			if wa == wb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coalesce steals queued jobs that share a workload image with the
+// head job, up to MaxCoalesce jobs total, so the group can run as one
+// lockstep-batched pool over shared streams. The head job itself was
+// chosen by the normal priority/fair policy; stolen jobs jump their
+// queues — riding along early is the point of coalescing. Jobs
+// canceled while queued are left for the dequeue path to skip.
+func (s *Scheduler) coalesce(head *Job) []*Job {
+	group := []*Job{head}
+	if s.cfg.RunGroup == nil || s.cfg.MaxCoalesce <= 1 {
+		return group
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, client := range s.order {
+		q := s.queues[client]
+		kept := q[:0]
+		for _, j := range q {
+			if len(group) < s.cfg.MaxCoalesce && !j.State().Terminal() &&
+				sharesImage(head.Descriptor, j.Descriptor) {
+				group = append(group, j)
+				s.queued--
+				continue
+			}
+			kept = append(kept, j)
+		}
+		s.queues[client] = kept
+	}
+	if len(group) > 1 {
+		obs.DaemonQueueDepth.Set(int64(s.queued))
+		obs.DaemonJobsCoalesced.Add(int64(len(group) - 1))
+		s.dropEmptyQueuesLocked()
+	}
+	return group
+}
+
+// dropEmptyQueuesLocked removes clients whose queues coalescing
+// emptied, keeping the rotation cursor on the client it pointed at.
+// Caller holds s.mu.
+func (s *Scheduler) dropEmptyQueuesLocked() {
+	if len(s.order) == 0 {
+		return
+	}
+	cur := s.order[s.rr%len(s.order)]
+	kept := s.order[:0]
+	for _, c := range s.order {
+		if len(s.queues[c]) == 0 {
+			delete(s.queues, c)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.order = kept
+	s.rr = 0
+	for i, c := range s.order {
+		if c == cur {
+			s.rr = i
+			break
+		}
+	}
+}
+
+// runGroup executes coalesced jobs as one merged batched run. The
+// group shares one context: canceling a single ride-along job must not
+// kill the other clients' jobs, so the shared context is canceled only
+// once every job in the group has asked (timeout and forced drain
+// still cancel it directly). A job canceled mid-run whose results
+// complete anyway finishes Done, same as the single-job race.
+func (s *Scheduler) runGroup(group []*Job) {
+	base := context.Background()
+	ctx, cancel := context.WithCancel(base)
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(base, s.cfg.JobTimeout)
+	}
+	defer cancel()
+
+	// Every job's cancelRun: stop the merged run only when no live job
+	// in the group still wants it.
+	cancelIfAllAsked := func() {
+		for _, j := range group {
+			j.mu.Lock()
+			asked := j.cancelAsked
+			j.mu.Unlock()
+			if !asked {
+				return
+			}
+		}
+		cancel()
+	}
+
+	live := group[:0:0]
+	for _, j := range group {
+		j.mu.Lock()
+		if j.cancelAsked { // canceled between dequeue and start
+			j.mu.Unlock()
+			j.finish(JobCanceled, nil, "canceled")
+			continue
+		}
+		j.state = JobRunning
+		j.started = time.Now()
+		j.cancelRun = cancelIfAllAsked
+		j.mu.Unlock()
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	s.mu.Lock()
+	for _, j := range live {
+		s.running[j.ID] = j
+	}
+	s.mu.Unlock()
+
+	ids := make([]string, len(live))
+	for i, j := range live {
+		ids[i] = j.ID
+		j.hub.publish("started", j.view(false))
+	}
+	s.cfg.Log.Info("job group started", "ids", ids, "coalesced", len(live))
+
+	results, errs := s.cfg.RunGroup(ctx, live)
+
+	s.mu.Lock()
+	for _, j := range live {
+		delete(s.running, j.ID)
+	}
+	s.mu.Unlock()
+
+	for i, j := range live {
+		var res []experiments.DescriptorResult
+		if i < len(results) {
+			res = results[i]
+		}
+		var err error
+		if i < len(errs) {
+			err = errs[i]
+		}
+		s.finishRun(j, res, err)
 	}
 }
 
@@ -446,6 +618,12 @@ func (s *Scheduler) runJob(j *Job) {
 	delete(s.running, j.ID)
 	s.mu.Unlock()
 
+	s.finishRun(j, results, err)
+}
+
+// finishRun maps a run's outcome to the job's terminal state — shared
+// by the single-job and coalesced-group paths.
+func (s *Scheduler) finishRun(j *Job, results []experiments.DescriptorResult, err error) {
 	j.mu.Lock()
 	j.cancelRun = nil
 	asked := j.cancelAsked

@@ -35,6 +35,15 @@ type ServerConfig struct {
 	// Interval is the obs sampling interval in cycles for the SSE
 	// event stream (0 disables "sample" events; default 10000).
 	Interval uint64
+	// Batch enables lockstep batching: each job's grid cells sharing a
+	// workload image step over one shared instruction stream, and
+	// queued jobs sharing an image are coalesced into one merged
+	// batched run. Results are bit-identical to unbatched runs — this
+	// is a pure throughput knob.
+	Batch bool
+	// MaxCoalesce caps how many queued jobs one batched run may merge
+	// (only meaningful with Batch; default 4).
+	MaxCoalesce int
 	// Log receives request/lifecycle logs (nil = discard).
 	Log *slog.Logger
 }
@@ -60,17 +69,25 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Interval == 0 {
 		cfg.Interval = 10_000
 	}
+	if cfg.Batch && cfg.MaxCoalesce == 0 {
+		cfg.MaxCoalesce = 4
+	}
 	s := &Server{cfg: cfg, log: cfg.Log, startedAt: time.Now()}
 	if cfg.Store != nil {
 		experiments.SetResultStore(cfg.Store)
 	}
-	s.sched = NewScheduler(SchedulerConfig{
+	scfg := SchedulerConfig{
 		Workers:    cfg.Workers,
 		MaxQueue:   cfg.MaxQueue,
 		JobTimeout: cfg.JobTimeout,
 		Run:        s.runJob,
 		Log:        cfg.Log,
-	})
+	}
+	if cfg.Batch {
+		scfg.RunGroup = s.runJobGroup
+		scfg.MaxCoalesce = cfg.MaxCoalesce
+	}
+	s.sched = NewScheduler(scfg)
 	s.ready.Store(true)
 	return s
 }
@@ -85,12 +102,36 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]experiments.DescriptorRe
 	opts := experiments.Options{
 		Context:  ctx,
 		Interval: s.cfg.Interval,
+		Batch:    s.cfg.Batch,
 		OnSample: func(sample obs.IntervalSample) { j.hub.publish("sample", sample) },
 	}
 	progress := func(line string) {
 		j.hub.publish("progress", map[string]string{"line": line})
 	}
 	return experiments.RunDescriptorObserved(j.Descriptor, progress, s.cfg.Parallelism, opts)
+}
+
+// runJobGroup executes coalesced jobs sharing a workload image as one
+// merged descriptor pool: the engine groups all cells across jobs by
+// image and steps each group's machines in lockstep over one shared
+// stream. Each job keeps its own SSE feed — progress lines and obs
+// samples route to the job whose cell produced them.
+func (s *Server) runJobGroup(ctx context.Context, group []*Job) ([][]experiments.DescriptorResult, []error) {
+	jobs := make([]experiments.DescriptorJob, len(group))
+	for i, j := range group {
+		j := j
+		jobs[i] = experiments.DescriptorJob{
+			D: j.Descriptor,
+			Progress: func(line string) {
+				j.hub.publish("progress", map[string]string{"line": line})
+			},
+			Opts: experiments.Options{
+				Interval: s.cfg.Interval,
+				OnSample: func(sample obs.IntervalSample) { j.hub.publish("sample", sample) },
+			},
+		}
+	}
+	return experiments.RunDescriptorsBatched(ctx, jobs, s.cfg.Parallelism)
 }
 
 // Drain stops admission, cancels queued jobs, lets running jobs finish
@@ -242,11 +283,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
 		return
 	}
+	// Resolve the resume cursor before any SSE header goes out: an
+	// unparseable value must 400 (silently treating it as 0 would
+	// replay the whole stream), and negatives clamp to "from the
+	// start" — event IDs begin at 1.
 	var afterID int64
-	if v := r.Header.Get("Last-Event-ID"); v != "" {
-		afterID, _ = strconv.ParseInt(v, 10, 64)
-	} else if v := r.URL.Query().Get("after"); v != "" {
-		afterID, _ = strconv.ParseInt(v, 10, 64)
+	src, v := "Last-Event-ID header", r.Header.Get("Last-Event-ID")
+	if v == "" {
+		src, v = "after parameter", r.URL.Query().Get("after")
+	}
+	if v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad %s %q: %w", src, v, err))
+			return
+		}
+		afterID = max(id, 0)
 	}
 	replay, ch, cancel := j.Events().subscribe(afterID)
 	defer cancel()

@@ -414,3 +414,129 @@ func waitJobState(t *testing.T, c *client.Client, id string, want serve.JobState
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestServerCoalescedBatchRun drives the real path end to end: a
+// -batch daemon with one worker coalesces two queued jobs sharing the
+// mysql image into one lockstep-batched run, splits the results back
+// per job, and the cell both jobs share comes out identical.
+func TestServerCoalescedBatchRun(t *testing.T) {
+	experiments.FlushResultCache()
+	_, c, stop := newTestDaemon(t, "", serve.ServerConfig{Workers: 1, Batch: true})
+	defer stop()
+
+	coalescedBefore := obs.DaemonJobsCoalesced.Value()
+
+	// The blocker occupies the lone worker long enough for the two
+	// mysql jobs to queue up behind it; its image is disjoint so it
+	// cannot absorb them itself.
+	blockerDesc := []byte(`{
+		"name": "coalesce-blocker",
+		"workloads": ["xgboost"],
+		"instructions": 400000,
+		"warmup": 20000,
+		"simpoints": 1,
+		"configs": [{"label": "base", "mechanism": "baseline"}]
+	}`)
+	mk := func(name, configs string) []byte {
+		return []byte(fmt.Sprintf(`{
+			"name": %q,
+			"workloads": ["mysql"],
+			"instructions": 63101,
+			"warmup": 8000,
+			"simpoints": 1,
+			"configs": [%s]
+		}`, name, configs))
+	}
+	blocker, err := c.Submit(context.Background(), blockerDesc, client.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Submit(context.Background(), mk("coalesce-a", `{"label": "base", "mechanism": "baseline"}`), client.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Submit(context.Background(), mk("coalesce-b",
+		`{"label": "base", "mechanism": "baseline"}, {"label": "udp", "mechanism": "udp"}`), client.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{blocker.ID, a.ID, b.ID} {
+		v, err := c.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if v.State != serve.JobDone {
+			t.Fatalf("job %s state %s (err %q), want done", id, v.State, v.Error)
+		}
+	}
+	av, _ := c.Job(context.Background(), a.ID)
+	bv, _ := c.Job(context.Background(), b.ID)
+	if len(av.Cells) != 1 || len(bv.Cells) != 2 {
+		t.Fatalf("cells split wrong: job a %d, job b %d (want 1 and 2)", len(av.Cells), len(bv.Cells))
+	}
+	if av.Cells[0].IPC <= 0 || av.Cells[0].IPC != bv.Cells[0].IPC {
+		t.Fatalf("shared baseline cell differs across coalesced jobs: %v vs %v",
+			av.Cells[0].IPC, bv.Cells[0].IPC)
+	}
+	if d := obs.DaemonJobsCoalesced.Value() - coalescedBefore; d != 1 {
+		t.Fatalf("jobs coalesced = %d, want 1 (job b absorbed into job a's run)", d)
+	}
+}
+
+// TestServerEventsCursorValidation is the regression test for the SSE
+// resume cursor: unparseable Last-Event-ID / after values must 400
+// with a JSON error before any stream bytes, and negative values clamp
+// to a full replay.
+func TestServerEventsCursorValidation(t *testing.T) {
+	_, c, stop := newTestDaemon(t, "", serve.ServerConfig{Workers: 1})
+	defer stop()
+	v, err := c.Submit(context.Background(), descriptorJSON("events-cursor", 63_301), client.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(context.Background(), v.ID); err != nil {
+		t.Fatal(err)
+	}
+	events := c.Base() + "/v1/jobs/" + v.ID + "/events"
+
+	expect400 := func(req *http.Request, wantIn string) {
+		t.Helper()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400 (body %q)", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json (no SSE bytes before the 400)", ct)
+		}
+		if !bytes.Contains(body, []byte(wantIn)) {
+			t.Fatalf("error body %q does not name the offending input %q", body, wantIn)
+		}
+	}
+	req, _ := http.NewRequest("GET", events+"?after=banana", nil)
+	expect400(req, "after parameter")
+	req, _ = http.NewRequest("GET", events, nil)
+	req.Header.Set("Last-Event-ID", "12x")
+	expect400(req, "Last-Event-ID header")
+
+	// A negative cursor clamps to 0: full replay from "queued" through
+	// the terminal event, after which the handler closes the stream.
+	resp, err := http.Get(events + "?after=-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("negative cursor status = %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, ev := range []string{"event: queued", "event: started", "event: done"} {
+		if !bytes.Contains(body, []byte(ev)) {
+			t.Fatalf("full replay missing %q:\n%s", ev, body)
+		}
+	}
+}

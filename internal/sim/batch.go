@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"udpsim/internal/isa"
+	"udpsim/internal/workload"
+)
+
+// Batched lockstep simulation: K config variants of one workload region
+// step over a single shared architectural stream. The workload executor
+// runs exactly once (inside a workload.Tape); every machine's oracle
+// reads the tape through its own TapeReader, and wrong-path divergence
+// stays local to each frontend exactly as in an independent run — the
+// tape carries only the on-path stream, and each frontend walks the
+// static image itself for (possibly wrong-path) fetch.
+//
+// Scheduling keeps the machines' stream cursors close together
+// (smallest-cursor-first, in slices of batchStride cycles), which
+// bounds tape memory to the cursor spread of the group and keeps the
+// shared chunks hot in cache across machines. Per-machine run state —
+// phase, retire target, forward-progress limit, saved observer
+// interval — lives in structure-of-arrays form on the runner rather
+// than per-machine wrappers, so the scheduler's scan touches a few
+// dense slices instead of K scattered structs.
+//
+// Equivalence: each machine sees the byte-identical instruction stream,
+// step sequence, warmup/measure transition, and snapshot point it would
+// see under Machine.RunCtx, so batched results are bit-for-bit equal to
+// unbatched ones (asserted by TestRunBatchEquivalence).
+
+// batchStride is how many cycles a machine advances per scheduling
+// slice: large enough to amortize the scheduler scan and the tape
+// pre-extension lock, small enough to keep cursor spread (and therefore
+// resident tape memory) tight. Matches cancelCheckStride so cancellation
+// latency is the same as the unbatched loop's.
+const batchStride = cancelCheckStride
+
+// SimpointSalt returns the seed salt selecting simpoint region i. The
+// offset keeps region 0 distinct from a plain non-simpoint run (salt 0):
+// salt participates in ConfigKey, and a zero salt for region 0 would
+// alias the two in every salt-keyed path (observer tags, batched-run
+// grouping, trace filenames).
+func SimpointSalt(i int) uint64 { return uint64(i+1) * 7919 }
+
+// batchRunner holds the shared tape and the per-machine scheduling
+// state for one lockstep group.
+type batchRunner struct {
+	tape    *workload.Tape
+	ms      []*Machine             // nil where construction failed
+	readers []*workload.TapeReader // nil where construction failed
+
+	// Structure-of-arrays per-machine run state (hot scheduler data).
+	phase   []uint8  // 0 warmup, 1 measured, 2 done
+	target  []uint64 // retired-instruction count ending the phase
+	limit   []uint64 // forward-progress cycle bound for the phase
+	savedIv []uint64 // observer interval suppressed during warmup
+	consume []uint64 // max oracle records one cycle can consume
+
+	res  []Result
+	errs []error
+
+	// Parallel-mode coordination.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	claimed []bool
+	live    int
+	stopped error
+}
+
+const (
+	phaseWarmup   = 0
+	phaseMeasured = 1
+	phaseDone     = 2
+)
+
+// newBatchRunner builds the K machines over one shared tape. attach (if
+// non-nil) runs per machine after construction, before any stepping —
+// the observer hook, mirroring RunSimpointsCtx. Construction failures
+// land in errs; surviving machines still run.
+func newBatchRunner(cfgs []Config, prog *workload.Program, attach func(k int, m *Machine)) *batchRunner {
+	k := len(cfgs)
+	b := &batchRunner{
+		tape:    workload.NewTape(prog, cfgs[0].SeedSalt),
+		ms:      make([]*Machine, k),
+		readers: make([]*workload.TapeReader, k),
+		phase:   make([]uint8, k),
+		target:  make([]uint64, k),
+		limit:   make([]uint64, k),
+		savedIv: make([]uint64, k),
+		consume: make([]uint64, k),
+		res:     make([]Result, k),
+		errs:    make([]error, k),
+		claimed: make([]bool, k),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	for i, cfg := range cfgs {
+		r := b.tape.Reader()
+		m, err := NewMachineWithSource(cfg, prog, r)
+		if err != nil {
+			b.errs[i] = err
+			b.phase[i] = phaseDone
+			r.Close()
+			continue
+		}
+		b.ms[i] = m
+		b.readers[i] = r
+		b.live++
+		if attach != nil {
+			attach(i, m)
+		}
+		b.consume[i] = uint64(cfg.BlocksPerCycle)*isa.InstrPerBlock + 1
+		maxInstr := cfg.MaxInstructions
+		if maxInstr == 0 {
+			maxInstr = 1_000_000
+		}
+		if w := cfg.WarmupInstructions; w > 0 {
+			b.phase[i] = phaseWarmup
+			b.target[i] = m.BE.Stats.Retired + w
+			b.limit[i] = m.cycle + w*400 + 1_000_000
+			// Suppress interval samples during warmup, exactly as
+			// Machine.RunCtx does.
+			if m.obs != nil {
+				b.savedIv[i], m.obs.Interval = m.obs.Interval, 0
+			}
+		} else {
+			b.phase[i] = phaseMeasured
+			b.target[i] = m.BE.Stats.Retired + maxInstr
+			b.limit[i] = m.cycle + maxInstr*400 + 1_000_000
+		}
+	}
+	return b
+}
+
+// maybeTransition advances machine k across phase boundaries when its
+// retire target is met, replicating RunCtx's sequence exactly: warmup →
+// ResetStats, restore observer interval, arm the measured region;
+// measured → flush observer, snapshot, done. Returns true once done.
+func (b *batchRunner) maybeTransition(k int) bool {
+	m := b.ms[k]
+	for m.BE.Stats.Retired >= b.target[k] {
+		switch b.phase[k] {
+		case phaseWarmup:
+			m.ResetStats()
+			if m.obs != nil {
+				m.obs.Interval = b.savedIv[k]
+			}
+			maxInstr := m.cfg.MaxInstructions
+			if maxInstr == 0 {
+				maxInstr = 1_000_000
+			}
+			b.phase[k] = phaseMeasured
+			b.target[k] = m.BE.Stats.Retired + maxInstr
+			b.limit[k] = m.cycle + maxInstr*400 + 1_000_000
+		case phaseMeasured:
+			m.obsFlush()
+			b.res[k] = m.Snapshot()
+			b.phase[k] = phaseDone
+			b.readers[k].Close()
+			return true
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// advance steps machine k for up to stride cycles (stopping early when
+// its run completes). The tape is pre-extended past everything the
+// slice can consume, so the cycle loop itself allocates nothing — the
+// zero-alloc Machine.Step invariant holds in batch mode.
+func (b *batchRunner) advance(k, stride int) {
+	if b.maybeTransition(k) {
+		return
+	}
+	m := b.ms[k]
+	b.tape.EnsureAhead(m.Oracle.Cursor() + uint64(stride)*b.consume[k])
+	for i := 0; i < stride; i++ {
+		m.Step()
+		if m.cycle > b.limit[k] {
+			panic(fmt.Sprintf("sim: no forward progress (retired %d of target %d at cycle %d)",
+				m.BE.Stats.Retired, b.target[k], m.cycle))
+		}
+		if m.BE.Stats.Retired >= b.target[k] && b.maybeTransition(k) {
+			return
+		}
+	}
+}
+
+// cursor returns machine k's stream position (the scheduling key).
+func (b *batchRunner) cursor(k int) uint64 { return b.ms[k].Oracle.Cursor() }
+
+// run drives every live machine to completion, smallest stream cursor
+// first. Serial below parallelism 2; otherwise a worker pool in which
+// each worker repeatedly claims the furthest-behind unclaimed machine.
+// ctx cancellation (polled once per slice, like the unbatched loop)
+// abandons unfinished machines with ctx.Err().
+func (b *batchRunner) run(ctx context.Context, parallelism int) {
+	poll := ctx.Done() != nil
+	if parallelism > b.live {
+		parallelism = b.live
+	}
+	if parallelism <= 1 {
+		for {
+			if poll {
+				if err := ctx.Err(); err != nil {
+					b.abandon(err)
+					return
+				}
+			}
+			k := -1
+			var best uint64
+			for i := range b.ms {
+				if b.phase[i] == phaseDone {
+					continue
+				}
+				if c := b.cursor(i); k < 0 || c < best {
+					k, best = i, c
+				}
+			}
+			if k < 0 {
+				return
+			}
+			b.advance(k, batchStride)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.worker(ctx, poll)
+		}()
+	}
+	wg.Wait()
+	if b.stopped != nil {
+		b.abandon(b.stopped)
+	}
+}
+
+// worker claims the furthest-behind unclaimed live machine, advances it
+// one slice, and repeats until no live machines remain. Machine state is
+// only touched while claimed; phase[i] of an unclaimed machine is
+// stable, so the scan under b.mu is race-free.
+func (b *batchRunner) worker(ctx context.Context, poll bool) {
+	b.mu.Lock()
+	for {
+		if b.stopped != nil || b.live == 0 {
+			b.mu.Unlock()
+			return
+		}
+		k := -1
+		var best uint64
+		for i := range b.ms {
+			if b.claimed[i] || b.phase[i] == phaseDone {
+				continue
+			}
+			if c := b.cursor(i); k < 0 || c < best {
+				k, best = i, c
+			}
+		}
+		if k < 0 {
+			// Every live machine is claimed by another worker.
+			b.cond.Wait()
+			continue
+		}
+		b.claimed[k] = true
+		b.mu.Unlock()
+
+		if poll {
+			if err := ctx.Err(); err != nil {
+				b.mu.Lock()
+				b.claimed[k] = false
+				if b.stopped == nil {
+					b.stopped = err
+				}
+				b.cond.Broadcast()
+				b.mu.Unlock()
+				return
+			}
+		}
+		b.advance(k, batchStride)
+
+		b.mu.Lock()
+		b.claimed[k] = false
+		if b.phase[k] == phaseDone {
+			b.live--
+		}
+		b.cond.Broadcast()
+	}
+}
+
+// abandon marks every unfinished machine with err (cancellation).
+func (b *batchRunner) abandon(err error) {
+	for i := range b.ms {
+		if b.ms[i] != nil && b.phase[i] != phaseDone {
+			b.errs[i] = err
+			b.phase[i] = phaseDone
+			b.readers[i].Close()
+		}
+	}
+}
+
+// RunBatch steps K configurations in lockstep over one shared
+// architectural stream and returns per-config results. All
+// configurations must describe the same workload image and seed salt
+// (the stream identity); everything else — mechanism, FTQ geometry,
+// cache sizes, warmup/measure lengths — may differ per config. Errors
+// are per config: an invalid cell fails alone while the rest of the
+// batch runs.
+func RunBatch(cfgs []Config, parallelism int) ([]Result, []error) {
+	return RunBatchCtx(context.Background(), cfgs, parallelism, nil)
+}
+
+// RunBatchCtx is RunBatch with cooperative cancellation and a
+// per-machine attach hook (observers, mirroring RunSimpointsCtx's).
+func RunBatchCtx(ctx context.Context, cfgs []Config, parallelism int, attach func(k int, m *Machine)) ([]Result, []error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, len(cfgs))
+	fail := func(err error) ([]Result, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]Result, len(cfgs)), errs
+	}
+	pk := ProfileKey(cfgs[0].Workload)
+	for i := 1; i < len(cfgs); i++ {
+		if ProfileKey(cfgs[i].Workload) != pk {
+			return fail(fmt.Errorf("sim: batch mixes workload images (%q vs %q)",
+				cfgs[i].Workload.Name, cfgs[0].Workload.Name))
+		}
+		if cfgs[i].SeedSalt != cfgs[0].SeedSalt {
+			return fail(fmt.Errorf("sim: batch mixes seed salts (%d vs %d)",
+				cfgs[i].SeedSalt, cfgs[0].SeedSalt))
+		}
+	}
+	prog, err := workloadImage(cfgs[0])
+	if err != nil {
+		return fail(err)
+	}
+	b := newBatchRunner(cfgs, prog, attach)
+	b.run(ctx, parallelism)
+	return b.res, b.errs
+}
+
+// RunBatchSimpoints runs each configuration over n simpoint regions
+// (seed salts SimpointSalt(i), matching RunSimpointsCtx) with the
+// machines of each region batched in lockstep, and returns the
+// per-config aggregate across regions. attach (if non-nil) is invoked
+// per (region, config) machine before it runs.
+func RunBatchSimpoints(ctx context.Context, cfgs []Config, n, parallelism int, attach func(region, k int, m *Machine)) ([]Result, []error) {
+	if n <= 0 {
+		n = 1
+	}
+	k := len(cfgs)
+	per := make([][]Result, k)
+	errs := make([]error, k)
+	rcfgs := make([]Config, k)
+	for region := 0; region < n; region++ {
+		copy(rcfgs, cfgs)
+		for i := range rcfgs {
+			rcfgs[i].SeedSalt = SimpointSalt(region)
+		}
+		var at func(int, *Machine)
+		if attach != nil {
+			r := region
+			at = func(i int, m *Machine) { attach(r, i, m) }
+		}
+		res, rerrs := RunBatchCtx(ctx, rcfgs, parallelism, at)
+		for i := 0; i < k; i++ {
+			switch {
+			case rerrs[i] != nil:
+				if errs[i] == nil {
+					errs[i] = rerrs[i]
+				}
+			case errs[i] == nil:
+				per[i] = append(per[i], res[i])
+			}
+		}
+	}
+	out := make([]Result, k)
+	for i := 0; i < k; i++ {
+		if errs[i] == nil {
+			out[i] = Aggregate(per[i])
+		}
+	}
+	return out, errs
+}

@@ -181,7 +181,7 @@ func RunSimpointsCtx(ctx context.Context, cfg Config, n, parallelism int, attach
 			return
 		}
 		c := cfg
-		c.SeedSalt = uint64(i) * 7919
+		c.SeedSalt = SimpointSalt(i)
 		m, err := NewMachineWithProgram(c, prog)
 		if err != nil {
 			errs[i] = err
