@@ -75,9 +75,11 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		if _, err := obs.ServeDebug(*pprofAddr, logger); err != nil {
+		_, stopDebug, err := obs.ServeDebug(*pprofAddr, logger)
+		if err != nil {
 			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
 		}
+		defer stopDebug()
 	}
 
 	o := experiments.DefaultOptions()

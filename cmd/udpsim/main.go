@@ -59,9 +59,11 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		if _, err := obs.ServeDebug(*pprofAddr, log); err != nil {
+		_, stopDebug, err := obs.ServeDebug(*pprofAddr, log)
+		if err != nil {
 			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
 		}
+		defer stopDebug()
 	}
 
 	if *listMechs {

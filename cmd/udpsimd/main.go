@@ -51,7 +51,8 @@ func main() {
 		batch        = flag.Bool("batch", false, "lockstep-batch grid cells sharing a workload image and coalesce queued jobs that share one (results are byte-identical)")
 		coalesce     = flag.Int("coalesce", 4, "max queued jobs merged into one batched run (with -batch)")
 		lru          = flag.Int("lru", serve.DefaultLRUEntries, "in-memory store read cache entries")
-		pprofAddr    = flag.String("pprof", "", "serve live pprof+expvar on this extra address (e.g. :6060)")
+		pprofAddr    = flag.String("pprof", "", "serve live pprof+expvar+metrics on this extra address (e.g. :6060)")
+		traceOut     = flag.String("trace-out", "", "write the session's job-lifecycle spans as Chrome trace JSON to this file at shutdown (load in Perfetto)")
 		verbose      = flag.Bool("v", false, "debug-level logs")
 	)
 	flag.Parse()
@@ -93,12 +94,11 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		go func() {
-			log.Info("pprof listening", "addr", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Error("pprof server", "err", err)
-			}
-		}()
+		_, stopDebug, err := obs.ServeDebug(*pprofAddr, log)
+		if err != nil {
+			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
+		}
+		defer stopDebug()
 	}
 
 	errCh := make(chan error, 1)
@@ -129,5 +129,26 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Warn("http shutdown", "err", err)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, srv); err != nil {
+			log.Error("writing trace", "file", *traceOut, "err", err)
+		} else {
+			log.Info("trace written", "file", *traceOut, "spans", len(srv.Spans()))
+		}
+	}
 	log.Info("udpsimd stopped")
+}
+
+// writeTrace dumps the session's recorded lifecycle spans as Chrome
+// trace-event JSON.
+func writeTrace(path string, srv *serve.Server) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeSpans(f, srv.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

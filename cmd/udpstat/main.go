@@ -1,0 +1,224 @@
+// Command udpstat is the operator's terminal view of a running
+// udpsimd: it scrapes GET /metrics and GET /v1/jobs and renders queue
+// depth, job/cache/store counters with hit rates, latency percentiles
+// (queue wait, run duration by mechanism, store and HTTP latency) and
+// the currently active jobs.
+//
+// Examples:
+//
+//	udpstat -addr http://127.0.0.1:8091            one-shot snapshot
+//	udpstat -addr http://127.0.0.1:8091 -watch 2s  live view, redrawn every 2s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"udpsim/internal/serve"
+	"udpsim/internal/serve/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8091", "udpsimd base URL")
+		watch   = flag.Duration("watch", 0, "redraw interval (0 = print once and exit)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		jobsMax = flag.Int("jobs", 8, "max active/recent jobs listed")
+	)
+	flag.Parse()
+
+	c := client.New(*addr, nil)
+	c.Name = "udpstat"
+	c.Timeout = *timeout
+
+	for {
+		out, err := snapshot(context.Background(), c, *jobsMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udpstat: %v\n", err)
+			if *watch == 0 {
+				os.Exit(1)
+			}
+		} else {
+			if *watch > 0 {
+				fmt.Print("\033[H\033[2J") // clear + home, live view
+			}
+			fmt.Print(out)
+		}
+		if *watch == 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// snapshot renders one full status screen.
+func snapshot(ctx context.Context, c *client.Client, jobsMax int) (string, error) {
+	health, err := c.Health(ctx)
+	if err != nil {
+		return "", fmt.Errorf("health: %w", err)
+	}
+	samples, err := c.Metrics(ctx)
+	if err != nil {
+		return "", fmt.Errorf("metrics: %w", err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+
+	val := func(name string) float64 {
+		v, _ := client.MetricValue(samples, name, nil)
+		return v
+	}
+	rate := func(hits, misses float64) string {
+		if hits+misses == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*hits/(hits+misses))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "udpsimd %s  up %s  status=%s  queue=%d  in-flight-http=%.0f\n",
+		c.Base(), (time.Duration(health.UptimeSecs) * time.Second).String(),
+		health.Status, health.QueueDepth, val("udpsimd_http_in_flight_requests"))
+
+	fmt.Fprintf(&b, "jobs: submitted=%.0f done=%.0f failed=%.0f canceled=%.0f deduped=%.0f coalesced=%.0f rejected=%.0f\n",
+		val("udpsimd_jobs_submitted"), val("udpsimd_jobs_completed"),
+		val("udpsimd_jobs_failed"), val("udpsimd_jobs_canceled"),
+		val("udpsimd_jobs_deduped"), val("udpsimd_jobs_coalesced"),
+		val("udpsimd_jobs_rejected"))
+
+	fmt.Fprintf(&b, "cache: hit %s (hits=%.0f misses=%.0f waits=%.0f)   store: hit %s (hits=%.0f misses=%.0f writes=%.0f errors=%.0f)\n",
+		rate(val("udpsim_cache_hits"), val("udpsim_cache_misses")),
+		val("udpsim_cache_hits"), val("udpsim_cache_misses"), val("udpsim_cache_inflight_waits"),
+		rate(val("udpsim_store_hits"), val("udpsim_store_misses")),
+		val("udpsim_store_hits"), val("udpsim_store_misses"),
+		val("udpsim_store_writes"), val("udpsim_store_errors"))
+
+	b.WriteString(latencyTable(samples))
+	b.WriteString(jobTable(jobs, jobsMax))
+	return b.String(), nil
+}
+
+// fmtUS renders a microsecond quantity human-readably.
+func fmtUS(us float64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// latencyTable renders p50/p99 for the service histograms, including
+// one row per mechanism of the run-duration family and one per route
+// of the HTTP family.
+func latencyTable(samples []client.MetricSample) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "latency\tp50\tp99\tcount")
+	row := func(label, name string, labels map[string]string) {
+		p50, ok := client.HistogramPercentile(samples, name, labels, 0.50)
+		if !ok {
+			return
+		}
+		p99, _ := client.HistogramPercentile(samples, name, labels, 0.99)
+		count, _ := client.MetricValue(samples, name+"_count", labels)
+		fmt.Fprintf(tw, "%s\t≤%s\t≤%s\t%.0f\n", label, fmtUS(p50), fmtUS(p99), count)
+	}
+	row("queue-wait", "udpsimd_queue_wait_us", nil)
+	for _, mech := range labelValues(samples, "udpsimd_run_duration_us_bucket", "mechanism") {
+		row("run "+mech, "udpsimd_run_duration_us", map[string]string{"mechanism": mech})
+	}
+	row("store-read", "udpsim_store_read_us", nil)
+	row("store-write", "udpsim_store_write_us", nil)
+	for _, route := range labelValues(samples, "udpsimd_http_request_duration_us_bucket", "route") {
+		row("http "+route, "udpsimd_http_request_duration_us", map[string]string{"route": route})
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// labelValues collects the distinct values of one label across a
+// sample family, sorted.
+func labelValues(samples []client.MetricSample, name, label string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		if v := s.Labels[label]; v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jobTable lists running and queued jobs first, then the most recent
+// terminal ones, up to max rows.
+func jobTable(jobs []serve.JobView, max int) string {
+	if len(jobs) == 0 {
+		return "no jobs\n"
+	}
+	active := make([]serve.JobView, 0, len(jobs))
+	var finished []serve.JobView
+	for _, j := range jobs {
+		if j.State.Terminal() {
+			finished = append(finished, j)
+		} else {
+			active = append(active, j)
+		}
+	}
+	sort.Slice(active, func(i, k int) bool { return active[i].Created < active[k].Created })
+	sort.Slice(finished, func(i, k int) bool { return finished[i].Finished > finished[k].Finished })
+	rows := active
+	if len(rows) < max {
+		n := max - len(rows)
+		if n > len(finished) {
+			n = len(finished)
+		}
+		rows = append(rows, finished[:n]...)
+	} else {
+		rows = rows[:max]
+	}
+
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\tname\tstate\tclient\tage\ttrace")
+	for _, j := range rows {
+		age := "-"
+		if t, err := time.Parse(time.RFC3339Nano, j.Created); err == nil {
+			age = time.Since(t).Round(time.Second).String()
+		}
+		trace := j.TraceID
+		if len(trace) > 12 {
+			trace = trace[:12]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			shorten(j.ID, 12), shorten(j.Name, 24), j.State, shorten(j.Client, 16), age, trace)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+func shorten(s string, n int) string {
+	if s == "" {
+		return "-"
+	}
+	if len(s) > n {
+		return s[:n-1] + "…"
+	}
+	return s
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"udpsim/internal/obs"
 	"udpsim/internal/sim"
@@ -190,9 +191,16 @@ func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCell
 	// Persistent-store read-through for claimed keys; the rest simulate.
 	var toRun []*group
 	for _, g := range claimed {
-		if agg, hit := storeLoad(g.key); hit {
+		c := cells[g.cells[0]]
+		spanStore := c.opts.spanStore()
+		readStart := time.Now()
+		agg, hit := storeLoad(g.key)
+		if spanStore {
+			c.opts.OnSpan(obs.Span{Name: "store-read", Start: readStart, End: time.Now(),
+				Args: map[string]any{"key": g.key, "hit": hit}})
+		}
+		if hit {
 			finish(g, agg, nil)
-			c := cells[g.cells[0]]
 			c.opts.progress("%s/%s ftq=%d: IPC %.4f (store)", c.name, c.mech, agg.FinalFTQDepth, agg.IPC)
 			continue
 		}
@@ -238,7 +246,7 @@ func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCell
 			for k, g := range chunk {
 				c := cells[g.cells[0]]
 				cfgs[k] = c.cfg
-				atts[k] = c.opts.attach()
+				atts[k] = c.opts.attachCell(c.name, c.mech)
 			}
 			res, rerrs := sim.RunBatchSimpoints(ctx, cfgs, cells[chunk[0].cells[0]].opts.simpoints(), workers,
 				func(region, k int, m *sim.Machine) {
@@ -251,9 +259,15 @@ func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCell
 					finish(g, sim.Result{}, rerrs[k])
 					continue
 				}
-				storeSave(g.key, res[k])
-				finish(g, res[k], nil)
 				c := cells[g.cells[0]]
+				spanStore := c.opts.spanStore()
+				writeStart := time.Now()
+				storeSave(g.key, res[k])
+				if spanStore {
+					c.opts.OnSpan(obs.Span{Name: "store-write", Start: writeStart, End: time.Now(),
+						Args: map[string]any{"key": g.key}})
+				}
+				finish(g, res[k], nil)
 				c.opts.progress("%s/%s ftq=%d: IPC %.4f", c.name, c.mech, res[k].FinalFTQDepth, res[k].IPC)
 			}
 		}

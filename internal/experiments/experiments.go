@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"udpsim/internal/obs"
 	"udpsim/internal/sim"
@@ -71,6 +72,17 @@ type Options struct {
 	// daemon's SSE stream hangs off. Callbacks arrive from concurrently
 	// simulating regions and must be safe for concurrent use.
 	OnSample func(obs.IntervalSample)
+
+	// OnSpan, when non-nil, receives wall-clock lifecycle spans for the
+	// cells this Options actually executes: store-read/store-write
+	// around the persistent store, and warmup/measure per simulated
+	// region. The daemon stamps each span with the owning job's trace ID
+	// before recording, so a submission's whole engine journey lands on
+	// one Perfetto timeline. Cached cells emit only the store-read probe
+	// (there is nothing else to time). Callbacks arrive from
+	// concurrently simulating regions and must be safe for concurrent
+	// use.
+	OnSpan func(obs.Span)
 }
 
 // DefaultOptions returns the evaluation configuration used by
@@ -156,6 +168,55 @@ func (o Options) attach() func(int, *sim.Machine) {
 	}
 }
 
+// attachCell wraps attach() with the per-machine run-phase hook when
+// span emission is on: warmup and measure become spans (tagged with
+// workload/mechanism/region), and the measure phase feeds the
+// per-mechanism run-duration histogram. The hook fires O(1) times per
+// run, so the zero-alloc cycle-loop invariant is untouched.
+func (o Options) attachCell(name string, mech sim.Mechanism) func(int, *sim.Machine) {
+	obsAttach := o.attach()
+	onSpan := o.OnSpan
+	if onSpan == nil {
+		return obsAttach
+	}
+	return func(region int, m *sim.Machine) {
+		if obsAttach != nil {
+			obsAttach(region, m)
+		}
+		// Per-machine closure state: one machine's transitions are
+		// sequential even under the parallel batch scheduler, so no lock.
+		var phase string
+		var phaseStart time.Time
+		m.SetPhaseHook(func(p string) {
+			now := time.Now()
+			if phase == "warmup" || phase == "measure" {
+				onSpan(obs.Span{
+					Name:  phase,
+					Start: phaseStart,
+					End:   now,
+					Args: map[string]any{
+						"workload":  name,
+						"mechanism": string(mech),
+						"region":    region,
+					},
+				})
+				if phase == "measure" {
+					obs.RunDurationUS.Observe(obs.SinceUS(phaseStart), string(mech))
+				}
+			}
+			phase, phaseStart = p, now
+		})
+	}
+}
+
+// spanStore reports whether this Options should emit store spans: a
+// span callback is installed and a persistent store actually exists
+// (no store → no I/O to time, and a no-op span per cell would be pure
+// timeline noise).
+func (o Options) spanStore() bool {
+	return o.OnSpan != nil && currentStore() != nil
+}
+
 // run executes one configuration over the option's simpoints, memoized
 // process-wide and singleflighted: concurrent callers with the same
 // canonical config key block on the first runner instead of simulating
@@ -218,13 +279,24 @@ func (o Options) runConfig(name string, mech sim.Mechanism, cfg sim.Config) (sim
 	// In-memory miss: read through the persistent store before paying
 	// for a simulation. A hit is published exactly like a computed
 	// result so concurrent waiters resolve.
+	spanStore := o.spanStore()
+	readStart := time.Now()
 	agg, hit := storeLoad(key)
+	if spanStore {
+		o.OnSpan(obs.Span{Name: "store-read", Start: readStart, End: time.Now(),
+			Args: map[string]any{"key": key, "hit": hit}})
+	}
 	var err error
 	if !hit {
 		obs.CacheMisses.Add(1)
-		_, agg, err = sim.RunSimpointsCtx(ctx, cfg, o.Simpoints, 1, o.attach())
+		_, agg, err = sim.RunSimpointsCtx(ctx, cfg, o.Simpoints, 1, o.attachCell(name, mech))
 		if err == nil {
+			writeStart := time.Now()
 			storeSave(key, agg)
+			if spanStore {
+				o.OnSpan(obs.Span{Name: "store-write", Start: writeStart, End: time.Now(),
+					Args: map[string]any{"key": key}})
+			}
 		}
 	}
 

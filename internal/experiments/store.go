@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"udpsim/internal/obs"
 	"udpsim/internal/sim"
@@ -75,13 +76,16 @@ func FlushResultCache() {
 }
 
 // storeLoad probes the installed persistent store (if any) for key,
-// maintaining the obs counters. The bool reports a usable hit.
+// maintaining the obs counters and the read-latency histogram. The
+// bool reports a usable hit.
 func storeLoad(key string) (sim.Result, bool) {
 	st := currentStore()
 	if st == nil {
 		return sim.Result{}, false
 	}
+	start := time.Now()
 	r, ok, err := st.Load(key)
+	obs.StoreReadUS.Observe(obs.SinceUS(start))
 	if err != nil {
 		obs.StoreErrors.Add(1)
 		return sim.Result{}, false
@@ -102,7 +106,10 @@ func storeSave(key string, r sim.Result) {
 	if st == nil {
 		return
 	}
-	if err := st.Save(key, r); err != nil {
+	start := time.Now()
+	err := st.Save(key, r)
+	obs.StoreWriteUS.Observe(obs.SinceUS(start))
+	if err != nil {
 		obs.StoreErrors.Add(1)
 		return
 	}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugStopReleasesListener checks the ISSUE's leak fix: the
+// returned stop function actually closes the listener and joins the
+// serve goroutine, so the port is immediately reusable.
+func TestServeDebugStopReleasesListener(t *testing.T) {
+	addr, stop, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+
+	// The default mux must carry /metrics with the typed registry.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		stop()
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		stop()
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		stop()
+		t.Fatalf("GET /metrics content-type %q", ct)
+	}
+	if !strings.Contains(string(body), "udpsimd_http_in_flight_requests") {
+		stop()
+		t.Fatal("exposition missing typed registry series")
+	}
+
+	stop()
+
+	// The address is free again: a second ServeDebug on the same port
+	// must bind (the old code leaked the listener forever).
+	addr2, stop2, err := ServeDebug(addr, nil)
+	if err != nil {
+		t.Fatalf("rebinding %s after stop: %v", addr, err)
+	}
+	defer stop2()
+	if addr2 != addr {
+		t.Fatalf("rebound to %s, want %s", addr2, addr)
+	}
+}

@@ -45,6 +45,10 @@ type JobView struct {
 	Priority    int      `json:"priority"`
 	Client      string   `json:"client"`
 	Submissions int64    `json:"submissions"`
+	// TraceID is the job's end-to-end trace: every span the job caused
+	// (queue-wait, coalesce-merge, store I/O, warmup, measure) carries
+	// it, and GET /debug/trace renders the connected timeline.
+	TraceID string `json:"trace_id,omitempty"`
 	// Deduped is set on submission responses when the POST attached to
 	// an existing identical job instead of creating one.
 	Deduped  bool   `json:"deduped,omitempty"`
@@ -94,6 +98,7 @@ func (j *Job) view(withCells bool) JobView {
 		Error:       j.err,
 		Priority:    j.Priority,
 		Client:      j.Client,
+		TraceID:     j.TraceID,
 		Submissions: j.submissions,
 		Created:     timeString(j.created),
 		Started:     timeString(j.started),

@@ -21,6 +21,10 @@ import (
 	"udpsim/internal/serve"
 )
 
+// DefaultTimeout bounds non-streaming requests when the caller does
+// not override Client.Timeout.
+const DefaultTimeout = 30 * time.Second
+
 // Client talks to one udpsimd base URL (e.g. "http://127.0.0.1:8091").
 type Client struct {
 	base string
@@ -29,16 +33,34 @@ type Client struct {
 	// queue (X-UDPSim-Client). Empty means the daemon falls back to
 	// the remote address.
 	Name string
+	// Timeout caps each non-streaming call (Submit, Job, Jobs, Cancel,
+	// Result, Ready, Health, Metrics); it is applied per request on top
+	// of the caller's context, so a hung daemon fails the call instead
+	// of blocking forever. SSE streams (Stream, Wait) are exempt —
+	// they are long-lived by design and governed only by their context.
+	// <= 0 disables the cap.
+	Timeout time.Duration
 }
 
 // New builds a client. hc == nil uses a dedicated default client with
-// no overall timeout (SSE streams are long-lived; use contexts to
-// bound individual calls).
+// no overall timeout (SSE streams are long-lived; Client.Timeout — 30s
+// by default — bounds the non-streaming calls instead).
 func New(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: hc}
+	return &Client{base: strings.TrimRight(base, "/"), http: hc, Timeout: DefaultTimeout}
+}
+
+// reqCtx derives the per-request context for a non-streaming call.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.Timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.Timeout)
 }
 
 // Base returns the daemon base URL the client talks to.
@@ -85,11 +107,16 @@ func (c *Client) do(req *http.Request, out any) error {
 type SubmitOptions struct {
 	// Priority orders the queue (higher runs earlier; default 0).
 	Priority int
+	// TraceID propagates an existing trace onto the job (X-Trace-ID);
+	// empty lets the daemon mint one.
+	TraceID string
 }
 
 // Submit POSTs a raw experiment-descriptor JSON and returns the
 // (possibly deduplicated) job view.
 func (c *Client) Submit(ctx context.Context, descriptorJSON []byte, opts SubmitOptions) (serve.JobView, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	u := c.base + "/v1/jobs"
 	if opts.Priority != 0 {
 		u += "?priority=" + url.QueryEscape(strconv.Itoa(opts.Priority))
@@ -102,6 +129,9 @@ func (c *Client) Submit(ctx context.Context, descriptorJSON []byte, opts SubmitO
 	if c.Name != "" {
 		req.Header.Set("X-UDPSim-Client", c.Name)
 	}
+	if opts.TraceID != "" {
+		req.Header.Set("X-Trace-ID", opts.TraceID)
+	}
 	var v serve.JobView
 	err = c.do(req, &v)
 	return v, err
@@ -109,6 +139,8 @@ func (c *Client) Submit(ctx context.Context, descriptorJSON []byte, opts SubmitO
 
 // Job fetches a job's current view.
 func (c *Client) Job(ctx context.Context, id string) (serve.JobView, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
 	if err != nil {
 		return serve.JobView{}, err
@@ -118,8 +150,25 @@ func (c *Client) Job(ctx context.Context, id string) (serve.JobView, error) {
 	return v, err
 }
 
+// Jobs lists every job the daemon knows, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]serve.JobView, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var v struct {
+		Jobs []serve.JobView `json:"jobs"`
+	}
+	err = c.do(req, &v)
+	return v.Jobs, err
+}
+
 // Cancel requests job cancellation.
 func (c *Client) Cancel(ctx context.Context, id string) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
 	if err != nil {
 		return err
@@ -130,6 +179,8 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 // Result fetches a content-addressed result record by address (the
 // result_key of a job cell).
 func (c *Client) Result(ctx context.Context, addr string) (serve.StoredResult, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/results/"+url.PathEscape(addr), nil)
 	if err != nil {
 		return serve.StoredResult{}, err
@@ -139,8 +190,44 @@ func (c *Client) Result(ctx context.Context, addr string) (serve.StoredResult, e
 	return v, err
 }
 
+// Health fetches GET /healthz (uptime, queue depth, drain state).
+func (c *Client) Health(ctx context.Context) (serve.Health, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return serve.Health{}, err
+	}
+	var h serve.Health
+	err = c.do(req, &h)
+	return h, err
+}
+
+// Metrics scrapes GET /metrics and returns the parsed samples.
+func (c *Client) Metrics(ctx context.Context) ([]MetricSample, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, &APIError{StatusCode: resp.StatusCode,
+			Body: serve.APIError{Error: strings.TrimSpace(string(body))}}
+	}
+	return ParseMetrics(io.LimitReader(resp.Body, 16<<20))
+}
+
 // Ready polls GET /readyz once.
 func (c *Client) Ready(ctx context.Context) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
 	if err != nil {
 		return err

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMetrics(t *testing.T) {
+	in := `# HELP up whether the target is up
+# TYPE up gauge
+up 1
+plain_total 42 1700000000000
+labeled_total{route="/v1/jobs",method="POST",code="202"} 7
+escaped_total{path="a\\b\"c\nd"} 3
+float_value 0.25
+`
+	samples, err := ParseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5", len(samples))
+	}
+	if v, ok := MetricValue(samples, "up", nil); !ok || v != 1 {
+		t.Fatalf("up = %v (present %v)", v, ok)
+	}
+	// Trailing timestamps are ignored, not parsed into the value.
+	if v, ok := MetricValue(samples, "plain_total", nil); !ok || v != 42 {
+		t.Fatalf("plain_total = %v (present %v), want 42", v, ok)
+	}
+	if v, ok := MetricValue(samples, "labeled_total",
+		map[string]string{"route": "/v1/jobs", "code": "202"}); !ok || v != 7 {
+		t.Fatalf("labeled_total subset-match = %v (present %v), want 7", v, ok)
+	}
+	if _, ok := MetricValue(samples, "labeled_total",
+		map[string]string{"route": "/nope"}); ok {
+		t.Fatal("label mismatch should not match")
+	}
+	// Escapes decode back to the raw label value.
+	if v, ok := MetricValue(samples, "escaped_total",
+		map[string]string{"path": "a\\b\"c\nd"}); !ok || v != 3 {
+		t.Fatalf("escaped label round-trip = %v (present %v), want 3", v, ok)
+	}
+	if v, ok := MetricValue(samples, "float_value", nil); !ok || v != 0.25 {
+		t.Fatalf("float_value = %v (present %v)", v, ok)
+	}
+}
+
+func TestParseMetricsFailsLoudly(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"bad_value x\n",
+		`unterminated{a="b 1` + "\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) should fail", bad)
+		}
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	in := `lat_bucket{le="2"} 5
+lat_bucket{le="4"} 8
+lat_bucket{le="8"} 10
+lat_bucket{le="+Inf"} 10
+lat_sum 37
+lat_count 10
+other_bucket{le="2",mech="udp"} 1
+other_bucket{le="+Inf",mech="udp"} 1
+`
+	samples, err := ParseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := HistogramPercentile(samples, "lat", nil, 0.5); !ok || p != 2 {
+		t.Fatalf("p50 = %v (present %v), want 2", p, ok)
+	}
+	if p, ok := HistogramPercentile(samples, "lat", nil, 0.79); !ok || p != 4 {
+		t.Fatalf("p79 = %v (present %v), want 4", p, ok)
+	}
+	if p, ok := HistogramPercentile(samples, "lat", nil, 1.0); !ok || p != 8 {
+		t.Fatalf("p100 = %v (present %v), want 8 (everything fits in le=8)", p, ok)
+	}
+	// Label filtering picks the right family slice.
+	if p, ok := HistogramPercentile(samples, "other",
+		map[string]string{"mech": "udp"}, 0.5); !ok || p != 2 {
+		t.Fatalf("labeled p50 = %v (present %v), want 2", p, ok)
+	}
+	if _, ok := HistogramPercentile(samples, "absent", nil, 0.5); ok {
+		t.Fatal("absent histogram should report !ok")
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+// HTTP middleware: structured access logs, panic-to-500 recovery, and
+// per-route request telemetry (latency histogram, in-flight gauge,
+// route/method/code counters). Go 1.22's ServeMux has no way to read
+// the matched pattern back off the request, so each route is wrapped
+// individually with its route label (see Server.Handler).
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"udpsim/internal/obs"
+)
+
+// newRequestID mints a short random request correlation ID for access
+// logs and the X-Request-ID response header.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code and body size a handler
+// produced. Flush is forwarded so SSE streaming keeps working through
+// the wrapper; WriteHeader is first-call-wins like the real one.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps one route's handler with the full middleware stack:
+// request ID, in-flight gauge, panic recovery, access log, and the
+// per-route latency/count metrics. route is the label the metrics and
+// logs carry (the pattern's path, without the method).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		obs.HTTPInFlight.Add(1)
+
+		defer func() {
+			obs.HTTPInFlight.Add(-1)
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// The handler aborted the connection on purpose
+					// (e.g. a client gone mid-stream); not a bug.
+					panic(p)
+				}
+				obs.HTTPPanics.Inc()
+				s.log.Error("panic in handler",
+					"request_id", reqID, "route", route, "method", r.Method,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError,
+						fmt.Errorf("serve: internal error (request %s)", reqID))
+				}
+			}
+			if rec.status == 0 {
+				// Handler returned without writing; net/http sends 200.
+				rec.status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			obs.HTTPRequests.Inc(route, r.Method, fmt.Sprintf("%d", rec.status))
+			obs.HTTPDurationUS.Observe(obs.SinceUS(start), route)
+			s.log.Info("request",
+				"request_id", reqID, "method", r.Method, "route", route,
+				"path", r.URL.Path, "status", rec.status, "bytes", rec.bytes,
+				"duration", elapsed.Round(time.Microsecond).String(),
+				"client", clientID(r))
+		}()
+
+		h(rec, r)
+	}
+}

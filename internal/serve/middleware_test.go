@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"udpsim/internal/obs"
+)
+
+// syncBuffer is a concurrency-safe log sink (scheduler workers share
+// the logger with the request path).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// newInstrumentedServer builds a Server whose logs land in the
+// returned buffer, for exercising the middleware in isolation.
+func newInstrumentedServer(t *testing.T) (*Server, *syncBuffer) {
+	t.Helper()
+	buf := &syncBuffer{}
+	log := slog.New(slog.NewTextHandler(buf, nil))
+	return NewServer(ServerConfig{Workers: 1, Log: log}), buf
+}
+
+func TestInstrumentAccessLogAndRequestID(t *testing.T) {
+	srv, buf := newInstrumentedServer(t)
+	h := srv.instrument("/test", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	})
+
+	req := httptest.NewRequest(http.MethodGet, "/test", nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+
+	reqID := rec.Header().Get("X-Request-ID")
+	if reqID == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d, want %d", rec.Code, http.StatusTeapot)
+	}
+	logs := buf.String()
+	for _, want := range []string{
+		"msg=request",
+		"request_id=" + reqID,
+		"route=/test",
+		"method=GET",
+		"status=418",
+		"bytes=15",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("access log missing %q\ngot: %s", want, logs)
+		}
+	}
+}
+
+func TestInstrumentHonorsInboundRequestID(t *testing.T) {
+	srv, buf := newInstrumentedServer(t)
+	h := srv.instrument("/test", func(w http.ResponseWriter, r *http.Request) {})
+
+	req := httptest.NewRequest(http.MethodGet, "/test", nil)
+	req.Header.Set("X-Request-ID", "caller-chose-this")
+	rec := httptest.NewRecorder()
+	h(rec, req)
+
+	if got := rec.Header().Get("X-Request-ID"); got != "caller-chose-this" {
+		t.Fatalf("X-Request-ID = %q, want the inbound one", got)
+	}
+	if !strings.Contains(buf.String(), "request_id=caller-chose-this") {
+		t.Fatalf("access log does not carry inbound request ID:\n%s", buf.String())
+	}
+	// A handler that never writes is logged as the 200 net/http sends.
+	if !strings.Contains(buf.String(), "status=200") {
+		t.Fatalf("empty handler should log status=200:\n%s", buf.String())
+	}
+}
+
+func TestInstrumentPanicRecovery(t *testing.T) {
+	srv, buf := newInstrumentedServer(t)
+	h := srv.instrument("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+
+	panicsBefore := obs.HTTPPanics.Value()
+	req := httptest.NewRequest(http.MethodPost, "/boom", nil)
+	rec := httptest.NewRecorder()
+	h(rec, req) // must not propagate the panic
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	reqID := rec.Header().Get("X-Request-ID")
+	if reqID == "" || !strings.Contains(rec.Body.String(), reqID) {
+		t.Fatalf("500 body should cite the request ID %q: %s", reqID, rec.Body.String())
+	}
+	if d := obs.HTTPPanics.Value() - panicsBefore; d != 1 {
+		t.Fatalf("HTTPPanics moved by %v, want 1", d)
+	}
+	logs := buf.String()
+	if n := strings.Count(logs, `msg="panic in handler"`); n != 1 {
+		t.Fatalf("panic logged %d times, want exactly 1:\n%s", n, logs)
+	}
+	if !strings.Contains(logs, "kaboom") || !strings.Contains(logs, "stack=") {
+		t.Fatalf("panic log missing value or stack:\n%s", logs)
+	}
+	// The access log still fires, recording the 500.
+	if !strings.Contains(logs, "status=500") {
+		t.Fatalf("access log missing the 500:\n%s", logs)
+	}
+}
+
+func TestInstrumentPanicAfterWriteDoesNotRewrite(t *testing.T) {
+	srv, _ := newInstrumentedServer(t)
+	h := srv.instrument("/late", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, "partial")
+		panic("after headers")
+	})
+	req := httptest.NewRequest(http.MethodGet, "/late", nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	if rec.Code != http.StatusAccepted || rec.Body.String() != "partial" {
+		t.Fatalf("late panic must not clobber the written response: %d %q",
+			rec.Code, rec.Body.String())
+	}
+}
+
+func TestStatusRecorderFlushPassthrough(t *testing.T) {
+	inner := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: inner}
+	if _, err := rec.Write([]byte("data: x\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	var fl http.Flusher = rec // SSE requires the wrapper to stay flushable
+	fl.Flush()
+	if !inner.Flushed {
+		t.Fatal("Flush not forwarded to the underlying writer")
+	}
+	if rec.status != http.StatusOK || rec.bytes != 9 {
+		t.Fatalf("recorder status=%d bytes=%d, want 200 and 9", rec.status, rec.bytes)
+	}
+}

@@ -52,6 +52,12 @@ type Job struct {
 	Descriptor *experiments.Descriptor
 	Priority   int
 	Client     string // first submitter
+	// TraceID connects everything this job caused — queue-wait,
+	// coalesce-merge, store I/O, warmup/measure — into one timeline.
+	// Minted at submission or propagated from the client's X-Trace-ID;
+	// deduplicated submissions keep the original job's trace. Immutable
+	// after creation.
+	TraceID string
 
 	hub  *eventHub
 	done chan struct{}
@@ -200,6 +206,11 @@ type SchedulerConfig struct {
 	// MaxCoalesce caps how many queued jobs one merged run may absorb
 	// (<= 1 disables coalescing).
 	MaxCoalesce int
+	// OnSpan, when set, receives the scheduler's lifecycle spans
+	// (queue-wait per job, coalesce-merge per merged group), already
+	// stamped with the owning job's trace ID. Must be safe for
+	// concurrent use.
+	OnSpan func(obs.Span)
 	// Log receives scheduler lifecycle logs (nil = discard).
 	Log *slog.Logger
 }
@@ -255,8 +266,19 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 // attaches to it instead (deduped=true). Admission control applies
 // only to genuinely new jobs.
 func (s *Scheduler) Submit(d *experiments.Descriptor, client string, priority int) (job *Job, deduped bool, err error) {
+	return s.SubmitTraced(d, client, priority, "")
+}
+
+// SubmitTraced is Submit with an explicit trace ID (client-propagated
+// X-Trace-ID); an empty traceID mints a fresh one. A deduplicated
+// submission keeps the existing job's trace — the work happens once,
+// under the first submitter's trace.
+func (s *Scheduler) SubmitTraced(d *experiments.Descriptor, client string, priority int, traceID string) (job *Job, deduped bool, err error) {
 	if client == "" {
 		client = "anonymous"
+	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
 	}
 	id := JobID(d)
 	s.mu.Lock()
@@ -283,6 +305,7 @@ func (s *Scheduler) Submit(d *experiments.Descriptor, client string, priority in
 		Descriptor: d,
 		Priority:   priority,
 		Client:     client,
+		TraceID:    traceID,
 		hub:        newEventHub(),
 		done:       make(chan struct{}),
 		state:      JobQueued,
@@ -308,7 +331,7 @@ func (s *Scheduler) Submit(d *experiments.Descriptor, client string, priority in
 	obs.DaemonJobsSubmitted.Add(1)
 	j.hub.publish("queued", j.view(false))
 	s.cfg.Log.Info("job queued", "id", j.ID, "name", j.Name, "client", client,
-		"priority", priority, "queue_depth", s.queued)
+		"priority", priority, "trace", traceID, "queue_depth", s.queued)
 	s.cond.Signal()
 	return j, false, nil
 }
@@ -431,6 +454,31 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// span forwards one lifecycle span to the configured sink (if any).
+func (s *Scheduler) span(sp obs.Span) {
+	if s.cfg.OnSpan != nil {
+		s.cfg.OnSpan(sp)
+	}
+}
+
+// noteStarted emits the queue-wait telemetry for a job transitioning
+// queued → running: the wait histogram and a per-trace span covering
+// submission to start.
+func (s *Scheduler) noteStarted(j *Job, created, started time.Time) {
+	wait := started.Sub(created)
+	if wait < 0 {
+		wait = 0
+	}
+	obs.QueueWaitUS.Observe(uint64(wait.Microseconds()))
+	s.span(obs.Span{
+		Trace: j.TraceID,
+		Name:  "queue-wait",
+		Start: created,
+		End:   started,
+		Args:  map[string]any{"job": j.ID, "client": j.Client, "priority": j.Priority},
+	})
+}
+
 // sharesImage reports whether two descriptors have a workload in
 // common — the condition under which batching their grids shares an
 // instruction stream.
@@ -456,8 +504,8 @@ func (s *Scheduler) coalesce(head *Job) []*Job {
 	if s.cfg.RunGroup == nil || s.cfg.MaxCoalesce <= 1 {
 		return group
 	}
+	mergeStart := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, client := range s.order {
 		q := s.queues[client]
 		kept := q[:0]
@@ -476,6 +524,23 @@ func (s *Scheduler) coalesce(head *Job) []*Job {
 		obs.DaemonQueueDepth.Set(int64(s.queued))
 		obs.DaemonJobsCoalesced.Add(int64(len(group) - 1))
 		s.dropEmptyQueuesLocked()
+	}
+	s.mu.Unlock()
+	// Coalesce-size distribution: a 1 means a dequeue found nothing to
+	// merge, so the histogram's mean is the effective batching factor.
+	obs.CoalesceSizeJobs.Observe(uint64(len(group)))
+	if len(group) > 1 {
+		merged := make([]string, 0, len(group)-1)
+		for _, j := range group[1:] {
+			merged = append(merged, j.ID)
+		}
+		s.span(obs.Span{
+			Trace: head.TraceID,
+			Name:  "coalesce-merge",
+			Start: mergeStart,
+			End:   time.Now(),
+			Args:  map[string]any{"head": head.ID, "merged": merged, "size": len(group)},
+		})
 	}
 	return group
 }
@@ -545,7 +610,9 @@ func (s *Scheduler) runGroup(group []*Job) {
 		j.state = JobRunning
 		j.started = time.Now()
 		j.cancelRun = cancelIfAllAsked
+		created, started := j.created, j.started
 		j.mu.Unlock()
+		s.noteStarted(j, created, started)
 		live = append(live, j)
 	}
 	if len(live) == 0 {
@@ -603,7 +670,9 @@ func (s *Scheduler) runJob(j *Job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancelRun = cancel
+	created, started := j.created, j.started
 	j.mu.Unlock()
+	s.noteStarted(j, created, started)
 
 	s.mu.Lock()
 	s.running[j.ID] = j

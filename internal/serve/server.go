@@ -55,6 +55,7 @@ type Server struct {
 	cfg       ServerConfig
 	log       *slog.Logger
 	sched     *Scheduler
+	spans     *obs.SpanRecorder
 	startedAt time.Time
 	ready     atomic.Bool
 }
@@ -72,7 +73,8 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Batch && cfg.MaxCoalesce == 0 {
 		cfg.MaxCoalesce = 4
 	}
-	s := &Server{cfg: cfg, log: cfg.Log, startedAt: time.Now()}
+	s := &Server{cfg: cfg, log: cfg.Log, startedAt: time.Now(),
+		spans: obs.NewSpanRecorder(spanRecorderCapacity)}
 	if cfg.Store != nil {
 		experiments.SetResultStore(cfg.Store)
 	}
@@ -81,6 +83,7 @@ func NewServer(cfg ServerConfig) *Server {
 		MaxQueue:   cfg.MaxQueue,
 		JobTimeout: cfg.JobTimeout,
 		Run:        s.runJob,
+		OnSpan:     s.spans.Record,
 		Log:        cfg.Log,
 	}
 	if cfg.Batch {
@@ -92,8 +95,25 @@ func NewServer(cfg ServerConfig) *Server {
 	return s
 }
 
+// spanRecorderCapacity bounds the daemon's span ring: at ~6 spans per
+// job it holds the last few thousand jobs' worth of timeline.
+const spanRecorderCapacity = 16384
+
 // Scheduler exposes the underlying queue (tests, cmd wiring).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Spans returns every recorded lifecycle span oldest-first (tests,
+// cmd/udpsimd's -trace-out shutdown export).
+func (s *Server) Spans() []obs.Span { return s.spans.Spans() }
+
+// jobSpanSink returns the engine's OnSpan callback for one job: stamp
+// the job's trace ID onto each span, then record it.
+func (s *Server) jobSpanSink(j *Job) func(obs.Span) {
+	return func(sp obs.Span) {
+		sp.Trace = j.TraceID
+		s.spans.Record(sp)
+	}
+}
 
 // runJob executes one job through the engine's memoized, store-backed
 // descriptor runner, forwarding per-cell progress and per-interval obs
@@ -104,6 +124,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]experiments.DescriptorRe
 		Interval: s.cfg.Interval,
 		Batch:    s.cfg.Batch,
 		OnSample: func(sample obs.IntervalSample) { j.hub.publish("sample", sample) },
+		OnSpan:   s.jobSpanSink(j),
 	}
 	progress := func(line string) {
 		j.hub.publish("progress", map[string]string{"line": line})
@@ -128,6 +149,7 @@ func (s *Server) runJobGroup(ctx context.Context, group []*Job) ([][]experiments
 			Opts: experiments.Options{
 				Interval: s.cfg.Interval,
 				OnSample: func(sample obs.IntervalSample) { j.hub.publish("sample", sample) },
+				OnSpan:   s.jobSpanSink(j),
 			},
 		}
 	}
@@ -155,20 +177,39 @@ const maxDescriptorBytes = 1 << 20
 //	GET    /v1/mechanisms        registered mechanism registry
 //	GET    /healthz              liveness
 //	GET    /readyz               readiness (503 while draining)
+//	GET    /metrics              Prometheus text exposition
 //	GET    /debug/vars           expvar (queue depth, dedup, store hit-rate)
+//	GET    /debug/trace          Chrome trace-event JSON of recorded spans
+//
+// Every route runs under the observability middleware: structured
+// access logs with a request ID, panic-to-500 recovery, per-route
+// latency histograms and an in-flight gauge.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	mux.HandleFunc("GET /v1/mechanisms", s.handleMechanisms)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("GET /debug/vars", expvar.Handler())
+	// Each route carries its own label because Go 1.22's mux cannot
+	// report the matched pattern back to middleware.
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/{id}/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/results/{key}", s.instrument("/v1/results/{key}", s.handleResult))
+	mux.HandleFunc("GET /v1/mechanisms", s.instrument("/v1/mechanisms", s.handleMechanisms))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", obs.Metrics.Handler().ServeHTTP))
+	mux.HandleFunc("GET /debug/vars", s.instrument("/debug/vars", expvar.Handler().ServeHTTP))
+	mux.HandleFunc("GET /debug/trace", s.instrument("/debug/trace", s.handleTrace))
 	return mux
+}
+
+// handleTrace renders every recorded lifecycle span as Chrome
+// trace-event JSON — open the response in Perfetto and a daemon
+// session (including coalesced batches) appears as one timeline, one
+// track group per trace ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeSpans(w, s.spans.Spans())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -214,7 +255,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, deduped, err := s.sched.Submit(d, clientID(r), priority)
+	job, deduped, err := s.sched.SubmitTraced(d, clientID(r), priority, r.Header.Get("X-Trace-ID"))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "5")

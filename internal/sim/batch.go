@@ -126,10 +126,12 @@ func newBatchRunner(cfgs []Config, prog *workload.Program, attach func(k int, m 
 			if m.obs != nil {
 				b.savedIv[i], m.obs.Interval = m.obs.Interval, 0
 			}
+			m.notePhase("warmup")
 		} else {
 			b.phase[i] = phaseMeasured
 			b.target[i] = m.BE.Stats.Retired + maxInstr
 			b.limit[i] = m.cycle + maxInstr*400 + 1_000_000
+			m.notePhase("measure")
 		}
 	}
 	return b
@@ -155,11 +157,13 @@ func (b *batchRunner) maybeTransition(k int) bool {
 			b.phase[k] = phaseMeasured
 			b.target[k] = m.BE.Stats.Retired + maxInstr
 			b.limit[k] = m.cycle + maxInstr*400 + 1_000_000
+			m.notePhase("measure")
 		case phaseMeasured:
 			m.obsFlush()
 			b.res[k] = m.Snapshot()
 			b.phase[k] = phaseDone
 			b.readers[k].Close()
+			m.notePhase("done")
 			return true
 		default:
 			return true

@@ -211,6 +211,24 @@ type Machine struct {
 	obsLastFillQueue uint64
 	obsLastRetries   uint64
 	obsLastDrops     uint64
+
+	// phaseHook, when set, is called once per run-phase transition with
+	// "warmup", "measure" and "done" — O(1) per run, never per cycle, so
+	// the zero-alloc cycle-loop gate is unaffected. The service layer
+	// uses it to put warmup/measure spans on the daemon's job timeline.
+	phaseHook func(phase string)
+}
+
+// SetPhaseHook installs (or clears, with nil) the run-phase callback.
+// Like AttachObserver it is post-construction state and not part of
+// Config, so it never perturbs result-cache keys.
+func (m *Machine) SetPhaseHook(hook func(phase string)) { m.phaseHook = hook }
+
+// notePhase fires the phase hook if one is installed.
+func (m *Machine) notePhase(phase string) {
+	if m.phaseHook != nil {
+		m.phaseHook(phase)
+	}
 }
 
 // NewMachine builds and wires a machine. The program image is generated
@@ -459,6 +477,7 @@ func (m *Machine) RunCtx(ctx context.Context) (Result, error) {
 		if m.obs != nil {
 			iv, m.obs.Interval = m.obs.Interval, 0
 		}
+		m.notePhase("warmup")
 		if err := m.runInstructions(w, ctx); err != nil {
 			return Result{}, err
 		}
@@ -467,10 +486,12 @@ func (m *Machine) RunCtx(ctx context.Context) (Result, error) {
 			m.obs.Interval = iv
 		}
 	}
+	m.notePhase("measure")
 	if err := m.runInstructions(maxInstr, ctx); err != nil {
 		return Result{}, err
 	}
 	m.obsFlush()
+	m.notePhase("done")
 	return m.Snapshot(), nil
 }
 

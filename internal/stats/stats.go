@@ -182,6 +182,21 @@ func (h *Histogram) Merge(other *Histogram) error {
 	return nil
 }
 
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Bounds returns the inclusive bucket upper bounds. The returned slice
+// is the histogram's own (never mutated after construction) — callers
+// must not modify it.
+func (h *Histogram) Bounds() []uint64 { return h.bounds }
+
+// Counts returns the per-bucket sample counts, including the trailing
+// overflow bucket (len = len(Bounds())+1). Unlike Buckets it reports
+// empty buckets too, which exposition formats with fixed series need.
+// The returned slice aliases the histogram's counts — callers must not
+// modify it and must copy if they need a stable snapshot.
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
 // Buckets invokes f for every non-empty bucket with its upper bound
 // (max for overflow) and count.
 func (h *Histogram) Buckets(f func(upper uint64, count uint64)) {

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fold `go test -bench` text output into one machine-readable JSON blob.
+
+Usage: bench_to_json.py bench-step.txt bench-batch.txt ... > BENCH_<run>.json
+
+Each `Benchmark<Name>[-P]  N  <value> <unit> ...` line becomes one
+record carrying every reported metric (ns/op, B/op, allocs/op and the
+custom ReportMetric units like Minstr/s, speedup, cores, instrs/cycle).
+CI uploads the result as a per-run artifact so throughput and
+allocation trends are diffable across builds without scraping logs.
+"""
+
+import json
+import os
+import re
+import sys
+
+BENCH_LINE = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
+
+
+def parse_file(path):
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            m = BENCH_LINE.match(line.strip())
+            if not m:
+                continue
+            name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+            fields = rest.split()
+            metrics = {}
+            # go test emits "<value> <unit>" pairs after the iteration count.
+            for value, unit in zip(fields[0::2], fields[1::2]):
+                try:
+                    metrics[unit] = float(value)
+                except ValueError:
+                    continue
+            records.append(
+                {
+                    "name": name,
+                    "file": os.path.basename(path),
+                    "iterations": iters,
+                    "metrics": metrics,
+                }
+            )
+    return records
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    benchmarks = []
+    for path in argv[1:]:
+        benchmarks.extend(parse_file(path))
+    if not benchmarks:
+        print("bench_to_json: no benchmark lines found", file=sys.stderr)
+        return 1
+    out = {
+        "run": os.environ.get("GITHUB_RUN_NUMBER", ""),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "sources": [os.path.basename(p) for p in argv[1:]],
+        "benchmarks": benchmarks,
+    }
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
