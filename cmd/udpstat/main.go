@@ -4,10 +4,16 @@
 // (queue wait, run duration by mechanism, store and HTTP latency) and
 // the currently active jobs.
 //
+// -addr repeats: with several daemons udpstat shows one status line
+// per node plus a fleet-wide aggregate (counters summed sample-by-
+// sample, histograms merged before the percentile estimate), which is
+// the operator's view of a cluster — coordinator and workers together.
+//
 // Examples:
 //
 //	udpstat -addr http://127.0.0.1:8091            one-shot snapshot
 //	udpstat -addr http://127.0.0.1:8091 -watch 2s  live view, redrawn every 2s
+//	udpstat -addr http://w1:8191 -addr http://w2:8192 -addr http://coord:8190
 package main
 
 import (
@@ -24,21 +30,46 @@ import (
 	"udpsim/internal/serve/client"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	if v = strings.TrimSpace(v); v != "" {
+		*m = append(*m, strings.TrimRight(v, "/"))
+	}
+	return nil
+}
+
 func main() {
+	var addrs multiFlag
+	flag.Var(&addrs, "addr", "udpsimd base URL (repeat for a fleet view)")
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8091", "udpsimd base URL")
 		watch   = flag.Duration("watch", 0, "redraw interval (0 = print once and exit)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		jobsMax = flag.Int("jobs", 8, "max active/recent jobs listed")
 	)
 	flag.Parse()
+	if len(addrs) == 0 {
+		addrs = multiFlag{"http://127.0.0.1:8091"}
+	}
 
-	c := client.New(*addr, nil)
-	c.Name = "udpstat"
-	c.Timeout = *timeout
+	clients := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		c := client.New(a, nil)
+		c.Name = "udpstat"
+		c.Timeout = *timeout
+		clients[i] = c
+	}
 
 	for {
-		out, err := snapshot(context.Background(), c, *jobsMax)
+		var out string
+		var err error
+		if len(clients) == 1 {
+			out, err = snapshot(context.Background(), clients[0], *jobsMax)
+		} else {
+			out = fleetSnapshot(context.Background(), clients, *jobsMax)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "udpstat: %v\n", err)
 			if *watch == 0 {
@@ -57,7 +88,7 @@ func main() {
 	}
 }
 
-// snapshot renders one full status screen.
+// snapshot renders one full status screen for a single daemon.
 func snapshot(ctx context.Context, c *client.Client, jobsMax int) (string, error) {
 	health, err := c.Health(ctx)
 	if err != nil {
@@ -72,38 +103,121 @@ func snapshot(ctx context.Context, c *client.Client, jobsMax int) (string, error
 		return "", fmt.Errorf("jobs: %w", err)
 	}
 
-	val := func(name string) float64 {
-		v, _ := client.MetricValue(samples, name, nil)
-		return v
-	}
-	rate := func(hits, misses float64) string {
-		if hits+misses == 0 {
-			return "-"
-		}
-		return fmt.Sprintf("%.1f%%", 100*hits/(hits+misses))
-	}
-
 	var b strings.Builder
 	fmt.Fprintf(&b, "udpsimd %s  up %s  status=%s  queue=%d  in-flight-http=%.0f\n",
 		c.Base(), (time.Duration(health.UptimeSecs) * time.Second).String(),
-		health.Status, health.QueueDepth, val("udpsimd_http_in_flight_requests"))
+		health.Status, health.QueueDepth, sampleVal(samples, "udpsimd_http_in_flight_requests"))
+	b.WriteString(counterLines(samples))
+	b.WriteString(latencyTable(samples))
+	b.WriteString(jobTable(jobs, jobsMax))
+	return b.String(), nil
+}
 
+// fleetSnapshot renders a multi-node view: one line per node (including
+// unreachable ones), then the fleet-wide aggregate over every node
+// that answered. Unlike snapshot it never fails outright — a dead node
+// is a line in the report, not an error.
+func fleetSnapshot(ctx context.Context, clients []*client.Client, jobsMax int) string {
+	var b strings.Builder
+	var scrapes [][]client.MetricSample
+	var allJobs []serve.JobView
+
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tstatus\tup\tqueue\tdone\tfailed\tcache-hit")
+	for _, c := range clients {
+		health, err := c.Health(ctx)
+		if err != nil {
+			fmt.Fprintf(tw, "%s\tDOWN\t-\t-\t-\t-\t-\n", c.Base())
+			continue
+		}
+		samples, err := c.Metrics(ctx)
+		if err != nil {
+			fmt.Fprintf(tw, "%s\t%s\t-\t%d\t-\t-\t(metrics: %v)\n",
+				c.Base(), health.Status, health.QueueDepth, err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.0f\t%.0f\t%s\n",
+			c.Base(), health.Status,
+			(time.Duration(health.UptimeSecs) * time.Second).String(),
+			health.QueueDepth,
+			sampleVal(samples, "udpsimd_jobs_completed"),
+			sampleVal(samples, "udpsimd_jobs_failed"),
+			hitRate(sampleVal(samples, "udpsim_cache_hits"), sampleVal(samples, "udpsim_cache_misses")))
+		scrapes = append(scrapes, samples)
+		if jobs, err := c.Jobs(ctx); err == nil {
+			allJobs = append(allJobs, jobs...)
+		}
+	}
+	tw.Flush()
+
+	if len(scrapes) == 0 {
+		b.WriteString("no node answered\n")
+		return b.String()
+	}
+	merged := client.MergeScrapes(scrapes...)
+	fmt.Fprintf(&b, "fleet (%d/%d nodes):\n", len(scrapes), len(clients))
+	b.WriteString(counterLines(merged))
+	b.WriteString(latencyTable(merged))
+	b.WriteString(jobTable(allJobs, jobsMax))
+	return b.String()
+}
+
+func sampleVal(samples []client.MetricSample, name string) float64 {
+	v, _ := client.MetricValue(samples, name, nil)
+	return v
+}
+
+func hitRate(hits, misses float64) string {
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*hits/(hits+misses))
+}
+
+// counterLines renders the jobs / cache / store / cluster counter rows
+// shared by the single-node and fleet views.
+func counterLines(samples []client.MetricSample) string {
+	val := func(name string) float64 { return sampleVal(samples, name) }
+	var b strings.Builder
 	fmt.Fprintf(&b, "jobs: submitted=%.0f done=%.0f failed=%.0f canceled=%.0f deduped=%.0f coalesced=%.0f rejected=%.0f\n",
 		val("udpsimd_jobs_submitted"), val("udpsimd_jobs_completed"),
 		val("udpsimd_jobs_failed"), val("udpsimd_jobs_canceled"),
 		val("udpsimd_jobs_deduped"), val("udpsimd_jobs_coalesced"),
 		val("udpsimd_jobs_rejected"))
 
-	fmt.Fprintf(&b, "cache: hit %s (hits=%.0f misses=%.0f waits=%.0f)   store: hit %s (hits=%.0f misses=%.0f writes=%.0f errors=%.0f)\n",
-		rate(val("udpsim_cache_hits"), val("udpsim_cache_misses")),
+	fmt.Fprintf(&b, "cache: hit %s (hits=%.0f misses=%.0f waits=%.0f)   store: hit %s (hits=%.0f misses=%.0f writes=%.0f errors=%.0f cached=%s)\n",
+		hitRate(val("udpsim_cache_hits"), val("udpsim_cache_misses")),
 		val("udpsim_cache_hits"), val("udpsim_cache_misses"), val("udpsim_cache_inflight_waits"),
-		rate(val("udpsim_store_hits"), val("udpsim_store_misses")),
+		hitRate(val("udpsim_store_hits"), val("udpsim_store_misses")),
 		val("udpsim_store_hits"), val("udpsim_store_misses"),
-		val("udpsim_store_writes"), val("udpsim_store_errors"))
+		val("udpsim_store_writes"), val("udpsim_store_errors"),
+		fmtBytes(val("udpsim_store_cache_bytes")))
 
-	b.WriteString(latencyTable(samples))
-	b.WriteString(jobTable(jobs, jobsMax))
-	return b.String(), nil
+	// Cluster counters appear only once a fleet actually forwards,
+	// steals or replicates — a standalone daemon's view stays compact.
+	forwarded := val("udpsimd_forwarded_jobs")
+	steals := val("udpsimd_steals")
+	prHits, prMisses := val("udpsimd_peer_read_hits"), val("udpsimd_peer_read_misses")
+	owned := val("udpsimd_ring_owned_keys")
+	if forwarded+steals+prHits+prMisses+owned > 0 {
+		fmt.Fprintf(&b, "cluster: forwarded=%.0f steals=%.0f peer-read hit %s (hits=%.0f misses=%.0f) owned-keys=%.0f\n",
+			forwarded, steals, hitRate(prHits, prMisses), prHits, prMisses, owned)
+	}
+	return b.String()
+}
+
+// fmtBytes renders a byte quantity human-readably.
+func fmtBytes(n float64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", n/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", n)
+	}
 }
 
 // fmtUS renders a microsecond quantity human-readably.

@@ -322,6 +322,7 @@ func runDescriptorGrids(jobs []DescriptorJob, parallelism int) ([][]DescriptorRe
 			Interval:     job.Opts.Interval,
 			Metrics:      job.Opts.Metrics,
 			OnSample:     job.Opts.OnSample,
+			Store:        job.Opts.Store,
 			OnSpan:       job.Opts.OnSpan,
 		}
 		batch = batch || job.Opts.Batch

@@ -194,7 +194,7 @@ func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCell
 		c := cells[g.cells[0]]
 		spanStore := c.opts.spanStore()
 		readStart := time.Now()
-		agg, hit := storeLoad(g.key)
+		agg, hit := c.opts.storeLoad(g.key)
 		if spanStore {
 			c.opts.OnSpan(obs.Span{Name: "store-read", Start: readStart, End: time.Now(),
 				Args: map[string]any{"key": g.key, "hit": hit}})
@@ -262,7 +262,7 @@ func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCell
 				c := cells[g.cells[0]]
 				spanStore := c.opts.spanStore()
 				writeStart := time.Now()
-				storeSave(g.key, res[k])
+				c.opts.storeSave(g.key, res[k])
 				if spanStore {
 					c.opts.OnSpan(obs.Span{Name: "store-write", Start: writeStart, End: time.Now(),
 						Args: map[string]any{"key": g.key}})

@@ -73,6 +73,14 @@ type Options struct {
 	// simulating regions and must be safe for concurrent use.
 	OnSample func(obs.IntervalSample)
 
+	// Store, when non-nil, is the persistent result store this run reads
+	// through and writes back to, overriding the process-global one
+	// installed with SetResultStore. The daemon passes its own store (or
+	// its cluster peer-transport) here so several in-process server
+	// instances — a test fleet, a coordinator plus workers — keep
+	// distinct stores despite sharing the process.
+	Store ResultStore
+
 	// OnSpan, when non-nil, receives wall-clock lifecycle spans for the
 	// cells this Options actually executes: store-read/store-write
 	// around the persistent store, and warmup/measure per simulated
@@ -214,7 +222,7 @@ func (o Options) attachCell(name string, mech sim.Mechanism) func(int, *sim.Mach
 // (no store → no I/O to time, and a no-op span per cell would be pure
 // timeline noise).
 func (o Options) spanStore() bool {
-	return o.OnSpan != nil && currentStore() != nil
+	return o.OnSpan != nil && o.store() != nil
 }
 
 // run executes one configuration over the option's simpoints, memoized
@@ -281,7 +289,7 @@ func (o Options) runConfig(name string, mech sim.Mechanism, cfg sim.Config) (sim
 	// result so concurrent waiters resolve.
 	spanStore := o.spanStore()
 	readStart := time.Now()
-	agg, hit := storeLoad(key)
+	agg, hit := o.storeLoad(key)
 	if spanStore {
 		o.OnSpan(obs.Span{Name: "store-read", Start: readStart, End: time.Now(),
 			Args: map[string]any{"key": key, "hit": hit}})
@@ -292,7 +300,7 @@ func (o Options) runConfig(name string, mech sim.Mechanism, cfg sim.Config) (sim
 		_, agg, err = sim.RunSimpointsCtx(ctx, cfg, o.Simpoints, 1, o.attachCell(name, mech))
 		if err == nil {
 			writeStart := time.Now()
-			storeSave(key, agg)
+			o.storeSave(key, agg)
 			if spanStore {
 				o.OnSpan(obs.Span{Name: "store-write", Start: writeStart, End: time.Now(),
 					Args: map[string]any{"key": key}})

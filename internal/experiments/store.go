@@ -75,11 +75,23 @@ func FlushResultCache() {
 	resultMu.Unlock()
 }
 
-// storeLoad probes the installed persistent store (if any) for key,
+// store resolves the persistent store this Options reads through: the
+// per-run Options.Store when set, else the process-global one. The
+// per-run override exists for multi-node setups (several in-process
+// daemon instances, each with its own disk store or peer transport)
+// where a process-global would make every node share one store.
+func (o Options) store() ResultStore {
+	if o.Store != nil {
+		return o.Store
+	}
+	return currentStore()
+}
+
+// storeLoad probes this run's persistent store (if any) for key,
 // maintaining the obs counters and the read-latency histogram. The
 // bool reports a usable hit.
-func storeLoad(key string) (sim.Result, bool) {
-	st := currentStore()
+func (o Options) storeLoad(key string) (sim.Result, bool) {
+	st := o.store()
 	if st == nil {
 		return sim.Result{}, false
 	}
@@ -98,11 +110,11 @@ func storeLoad(key string) (sim.Result, bool) {
 	return r, true
 }
 
-// storeSave writes a completed result back to the persistent store (if
-// any). Failures are counted, never propagated: the simulation already
-// succeeded.
-func storeSave(key string, r sim.Result) {
-	st := currentStore()
+// storeSave writes a completed result back to this run's persistent
+// store (if any). Failures are counted, never propagated: the
+// simulation already succeeded.
+func (o Options) storeSave(key string, r sim.Result) {
+	st := o.store()
 	if st == nil {
 		return
 	}

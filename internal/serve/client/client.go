@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -24,6 +25,25 @@ import (
 // DefaultTimeout bounds non-streaming requests when the caller does
 // not override Client.Timeout.
 const DefaultTimeout = 30 * time.Second
+
+// DefaultAttempts is how many times a call is tried in total before
+// its failure is reported (Client.MaxAttempts == 0). Retries apply
+// only to failures that are safe and useful to retry: transport errors
+// (connection refused, reset — the daemon is restarting) and 502/503
+// responses. Every call in this API is idempotent — submissions are
+// content-addressed, so a duplicate POST attaches to the existing job.
+const DefaultAttempts = 3
+
+// retryBaseDelay seeds the exponential backoff between attempts
+// (jittered ±50%, doubled per retry: ~50ms, ~100ms).
+const retryBaseDelay = 50 * time.Millisecond
+
+// ErrStreamEnded reports an SSE stream that dropped before the job's
+// terminal event — the daemon went away mid-job. Stream retries it
+// internally (resuming via Last-Event-ID); callers see it only once
+// the retry budget is spent, at which point the daemon is down, not
+// restarting.
+var ErrStreamEnded = errors.New("udpsimd: event stream ended before the job finished")
 
 // Client talks to one udpsimd base URL (e.g. "http://127.0.0.1:8091").
 type Client struct {
@@ -40,6 +60,9 @@ type Client struct {
 	// they are long-lived by design and governed only by their context.
 	// <= 0 disables the cap.
 	Timeout time.Duration
+	// MaxAttempts caps how many times one call (or one SSE connection)
+	// is tried: 0 means DefaultAttempts, 1 disables retries.
+	MaxAttempts int
 }
 
 // New builds a client. hc == nil uses a dedicated default client with
@@ -61,6 +84,73 @@ func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFun
 		return ctx, func() {}
 	}
 	return context.WithTimeout(ctx, c.Timeout)
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return DefaultAttempts
+}
+
+// retryable classifies one attempt's failure: transport-level errors
+// (connection refused/reset, unexpected EOF) and 502/503 mean the
+// daemon is down or restarting and the call is worth retrying;
+// anything the daemon actually answered (4xx, other 5xx) is final.
+// Context cancellation is never retried — it is the caller stopping
+// us, not the daemon failing.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusBadGateway ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffDelay is the jittered exponential delay before retry attempt
+// n (1-based): base × 2^(n-1), uniformly jittered in [½d, 1½d) so a
+// fleet of clients does not reconnect in lockstep.
+func backoffDelay(n int) time.Duration {
+	d := retryBaseDelay << (n - 1)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepCtx waits d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// withRetry runs one attempt via do (under the per-request timeout)
+// up to MaxAttempts times, backing off between tries. The final
+// attempt's error is reported; an expired caller context reports the
+// last daemon failure, not the context error.
+func (c *Client) withRetry(ctx context.Context, do func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		actx, cancel := c.reqCtx(ctx)
+		err = do(actx)
+		cancel()
+		if err == nil || !retryable(err) || attempt >= c.attempts() || ctx.Err() != nil {
+			return err
+		}
+		if sleepCtx(ctx, backoffDelay(attempt)) != nil {
+			return err
+		}
+	}
 }
 
 // Base returns the daemon base URL the client talks to.
@@ -115,113 +205,105 @@ type SubmitOptions struct {
 // Submit POSTs a raw experiment-descriptor JSON and returns the
 // (possibly deduplicated) job view.
 func (c *Client) Submit(ctx context.Context, descriptorJSON []byte, opts SubmitOptions) (serve.JobView, error) {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
 	u := c.base + "/v1/jobs"
 	if opts.Priority != 0 {
 		u += "?priority=" + url.QueryEscape(strconv.Itoa(opts.Priority))
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(descriptorJSON))
-	if err != nil {
-		return serve.JobView{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if c.Name != "" {
-		req.Header.Set("X-UDPSim-Client", c.Name)
-	}
-	if opts.TraceID != "" {
-		req.Header.Set("X-Trace-ID", opts.TraceID)
-	}
 	var v serve.JobView
-	err = c.do(req, &v)
+	// Safe to retry: job IDs are content-addressed, so a duplicate POST
+	// deduplicates onto the job the lost response created.
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(descriptorJSON))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.Name != "" {
+			req.Header.Set("X-UDPSim-Client", c.Name)
+		}
+		if opts.TraceID != "" {
+			req.Header.Set("X-Trace-ID", opts.TraceID)
+		}
+		return c.do(req, &v)
+	})
 	return v, err
 }
 
 // Job fetches a job's current view.
 func (c *Client) Job(ctx context.Context, id string) (serve.JobView, error) {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
-	if err != nil {
-		return serve.JobView{}, err
-	}
 	var v serve.JobView
-	err = c.do(req, &v)
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), &v)
 	return v, err
+}
+
+// getJSON is the retried GET-and-decode shared by the read-only calls.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return err
+		}
+		return c.do(req, out)
+	})
 }
 
 // Jobs lists every job the daemon knows, oldest first.
 func (c *Client) Jobs(ctx context.Context) ([]serve.JobView, error) {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
-	if err != nil {
-		return nil, err
-	}
 	var v struct {
 		Jobs []serve.JobView `json:"jobs"`
 	}
-	err = c.do(req, &v)
+	err := c.getJSON(ctx, "/v1/jobs", &v)
 	return v.Jobs, err
 }
 
 // Cancel requests job cancellation.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, nil)
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+		if err != nil {
+			return err
+		}
+		return c.do(req, nil)
+	})
 }
 
 // Result fetches a content-addressed result record by address (the
 // result_key of a job cell).
 func (c *Client) Result(ctx context.Context, addr string) (serve.StoredResult, error) {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/results/"+url.PathEscape(addr), nil)
-	if err != nil {
-		return serve.StoredResult{}, err
-	}
 	var v serve.StoredResult
-	err = c.do(req, &v)
+	err := c.getJSON(ctx, "/v1/results/"+url.PathEscape(addr), &v)
 	return v, err
 }
 
 // Health fetches GET /healthz (uptime, queue depth, drain state).
 func (c *Client) Health(ctx context.Context) (serve.Health, error) {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return serve.Health{}, err
-	}
 	var h serve.Health
-	err = c.do(req, &h)
+	err := c.getJSON(ctx, "/healthz", &h)
 	return h, err
 }
 
 // Metrics scrapes GET /metrics and returns the parsed samples.
 func (c *Client) Metrics(ctx context.Context) ([]MetricSample, error) {
-	ctx, cancel := c.reqCtx(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return nil, &APIError{StatusCode: resp.StatusCode,
-			Body: serve.APIError{Error: strings.TrimSpace(string(body))}}
-	}
-	return ParseMetrics(io.LimitReader(resp.Body, 16<<20))
+	var samples []MetricSample
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			return &APIError{StatusCode: resp.StatusCode,
+				Body: serve.APIError{Error: strings.TrimSpace(string(body))}}
+		}
+		samples, err = ParseMetrics(io.LimitReader(resp.Body, 16<<20))
+		return err
+	})
+	return samples, err
 }
 
 // Ready polls GET /readyz once.
@@ -256,11 +338,68 @@ func (c *Client) WaitReady(ctx context.Context) error {
 // until the terminal event arrives (returning nil), fn returns an
 // error (propagated), or ctx ends. The terminal JobView, when reached,
 // is returned for convenience.
+//
+// A dropped connection reconnects automatically with Last-Event-ID set
+// to the last event delivered, so fn sees each event exactly once
+// across reconnects. Receiving any event refills the retry budget —
+// only MaxAttempts consecutive dead connections surface the error.
 func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(serve.Event) error) (*serve.JobView, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	last := afterID
+	failures := 0
+	for {
+		v, lastSeen, err := c.streamOnce(ctx, id, last, fn)
+		if err == nil {
+			return v, nil
+		}
+		if lastSeen > last {
+			last, failures = lastSeen, 0
+		}
+		failures++
+		if !retryableStream(err) || failures >= c.attempts() || ctx.Err() != nil {
+			var cb *callbackError
+			if errors.As(err, &cb) {
+				return nil, cb.err // the caller's own error, unwrapped
+			}
+			return nil, err
+		}
+		if sleepCtx(ctx, backoffDelay(failures)) != nil {
+			return nil, err
+		}
+	}
+}
+
+// callbackError marks an error raised by the caller's event callback
+// — always final, never a reason to reconnect.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// retryableStream classifies a dropped SSE connection: transport
+// errors and mid-stream EOFs (ErrStreamEnded) are reconnectable;
+// anything the daemon answered deliberately (404 unknown job, 400 bad
+// cursor) and caller-side errors (fn's error, context cancellation)
+// are final.
+func retryableStream(err error) bool {
+	var cb *callbackError
+	if errors.As(err, &cb) {
+		return false
+	}
+	return errors.Is(err, ErrStreamEnded) || retryable(err)
+}
+
+// streamOnce runs a single SSE connection. lastSeen reports the
+// highest event ID dispatched to fn on this connection (afterID when
+// none were), so the caller can resume without replaying.
+func (c *Client) streamOnce(ctx context.Context, id string, afterID int64, fn func(serve.Event) error) (view *serve.JobView, lastSeen int64, err error) {
+	lastSeen = afterID
 	u := fmt.Sprintf("%s/v1/jobs/%s/events", c.base, url.PathEscape(id))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return nil, err
+		return nil, lastSeen, err
 	}
 	if afterID > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatInt(afterID, 10))
@@ -268,7 +407,7 @@ func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(s
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, lastSeen, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -277,7 +416,7 @@ func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(s
 		if jsonErr := json.Unmarshal(body, &apiErr.Body); jsonErr != nil || apiErr.Body.Error == "" {
 			apiErr.Body.Error = strings.TrimSpace(string(body))
 		}
-		return nil, apiErr
+		return nil, lastSeen, apiErr
 	}
 	var (
 		sc      = bufio.NewScanner(resp.Body)
@@ -295,8 +434,11 @@ func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(s
 		evType, evID, evData, haveAny = "", 0, nil, false
 		if fn != nil {
 			if err := fn(ev); err != nil {
-				return nil, true, err
+				return nil, true, &callbackError{err}
 			}
+		}
+		if ev.ID > lastSeen {
+			lastSeen = ev.ID
 		}
 		if ev.IsTerminal() {
 			var v serve.JobView
@@ -313,7 +455,7 @@ func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(s
 		case line == "":
 			v, stop, err := dispatch()
 			if stop || err != nil {
-				return v, err
+				return v, lastSeen, err
 			}
 		case strings.HasPrefix(line, ":"): // comment / keepalive
 		case strings.HasPrefix(line, "event: "):
@@ -327,10 +469,15 @@ func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(s
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Surface the caller's cancellation as such; transport-level
+		// read errors mean the daemon dropped us mid-stream.
+		if ctx.Err() != nil {
+			return nil, lastSeen, ctx.Err()
+		}
+		return nil, lastSeen, fmt.Errorf("%w: %w", ErrStreamEnded, err)
 	}
 	// Stream ended without a terminal event (daemon went away).
-	return nil, errors.New("udpsimd: event stream ended before the job finished")
+	return nil, lastSeen, ErrStreamEnded
 }
 
 // Wait streams the job's events until terminal and returns the final

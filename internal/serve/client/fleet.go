@@ -1,0 +1,193 @@
+package client
+
+// Fleet is the client-side counterpart of the coordinator's forwarder:
+// it fans one experiment descriptor out across a udpsimd fleet without
+// needing a coordinator process. The descriptor splits into one
+// sub-descriptor per workload, each routes to the worker owning its
+// shard on a client-side consistent-hash ring (the same hash the
+// daemons use, so the fan-out lands where the results already live),
+// and a worker that dies mid-run fails over to the next ring owner.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/serve"
+	"udpsim/internal/serve/placement"
+)
+
+// Fleet fans descriptors out across several udpsimd daemons. Build one
+// with NewFleet; the exported fields may be set before first use.
+type Fleet struct {
+	nodes   []string
+	ring    *placement.Ring
+	clients map[string]*Client
+
+	// Name identifies the fan-out to each daemon's fair queue
+	// (X-UDPSim-Client).
+	Name string
+	// OnProgress receives per-node progress lines (nil = dropped).
+	OnProgress func(node, line string)
+}
+
+// NewFleet builds a fleet over the given daemon base URLs. hc == nil
+// gives each node client its own default HTTP client.
+func NewFleet(urls []string, hc *http.Client) (*Fleet, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("client: fleet needs at least one daemon URL")
+	}
+	f := &Fleet{clients: make(map[string]*Client, len(urls))}
+	for _, u := range urls {
+		c := New(u, hc)
+		if _, dup := f.clients[c.Base()]; dup {
+			continue
+		}
+		f.clients[c.Base()] = c
+		f.nodes = append(f.nodes, c.Base())
+	}
+	f.ring = placement.New(f.nodes, 0)
+	return f, nil
+}
+
+// Nodes returns the fleet's daemon base URLs (deduplicated, in the
+// order given to NewFleet).
+func (f *Fleet) Nodes() []string { return f.nodes }
+
+// shardKey mirrors the coordinator's sharding: the content address of
+// a descriptor's first grid cell, so client-side fan-out and
+// coordinator forwarding agree on placement.
+func shardKey(d *experiments.Descriptor) string {
+	return serve.ResultAddr(experiments.CellKey(d, d.Workloads[0], d.Configs[0]))
+}
+
+// nodeLoss mirrors the coordinator's worker-loss test: transport
+// failures, dead streams and 502/503 (after the per-call retry budget)
+// mean the node is gone and the sub-descriptor should fail over;
+// anything else is the experiment's own outcome.
+func nodeLoss(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusBadGateway ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// Run executes a validated descriptor across the fleet: one
+// sub-descriptor per workload, routed by ring ownership, run
+// concurrently, reassembled in the descriptor's own workload-major
+// order (byte-identical rows to a local run). Each sub-descriptor
+// tries its ring owners in placement order until one completes it.
+func (f *Fleet) Run(ctx context.Context, d *experiments.Descriptor, priority int) ([]experiments.DescriptorResult, error) {
+	if len(d.Workloads) == 0 || len(d.Configs) == 0 {
+		return nil, errors.New("client: fleet run needs a validated descriptor")
+	}
+	if f.Name != "" {
+		for _, c := range f.clients {
+			c.Name = f.Name
+		}
+	}
+	perWorkload := make([][]experiments.DescriptorResult, len(d.Workloads))
+	errs := make([]error, len(d.Workloads))
+	var wg sync.WaitGroup
+	for i, w := range d.Workloads {
+		sub := *d
+		sub.Workloads = []string{w}
+		wg.Add(1)
+		go func(i int, sub experiments.Descriptor) {
+			defer wg.Done()
+			perWorkload[i], errs[i] = f.runSub(ctx, &sub, priority)
+		}(i, sub)
+	}
+	wg.Wait()
+	out := make([]experiments.DescriptorResult, 0, len(d.Workloads)*len(d.Configs))
+	for i := range d.Workloads {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("client: workload %s: %w", d.Workloads[i], errs[i])
+		}
+		out = append(out, perWorkload[i]...)
+	}
+	return out, nil
+}
+
+// runSub runs one single-workload sub-descriptor, failing over across
+// the shard's ring owners as nodes die.
+func (f *Fleet) runSub(ctx context.Context, sub *experiments.Descriptor, priority int) ([]experiments.DescriptorResult, error) {
+	blob, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	owners := f.ring.Owners(shardKey(sub), len(f.nodes))
+	var lastErr error
+	for _, node := range owners {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results, err := f.runOn(ctx, f.clients[node], node, blob, priority)
+		if err == nil {
+			return results, nil
+		}
+		if !nodeLoss(err) {
+			return nil, err
+		}
+		lastErr = err
+		f.progress(node, fmt.Sprintf("node %s lost; failing over", node))
+	}
+	return nil, fmt.Errorf("every node failed (last: %w)", lastErr)
+}
+
+// runOn submits to one node, streams until terminal, and fetches the
+// cell results.
+func (f *Fleet) runOn(ctx context.Context, c *Client, node string, descriptorJSON []byte, priority int) ([]experiments.DescriptorResult, error) {
+	v, err := c.Submit(ctx, descriptorJSON, SubmitOptions{Priority: priority})
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.Stream(ctx, v.ID, 0, func(ev serve.Event) error {
+		if ev.Type == "progress" {
+			var p struct {
+				Line string `json:"line"`
+			}
+			if json.Unmarshal(ev.Data, &p) == nil && p.Line != "" {
+				f.progress(node, p.Line)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch final.State {
+	case serve.JobDone:
+	case serve.JobCanceled:
+		// The node was drained or killed under the job — fail over.
+		return nil, fmt.Errorf("%w: node canceled the job unasked", ErrStreamEnded)
+	default:
+		return nil, fmt.Errorf("job %s on %s: %s", final.ID, node, final.Error)
+	}
+	results := make([]experiments.DescriptorResult, 0, len(final.Cells))
+	for _, cell := range final.Cells {
+		sr, err := c.Result(ctx, cell.ResultKey)
+		if err != nil {
+			return nil, fmt.Errorf("fetching cell %s/%s: %w", cell.Workload, cell.Label, err)
+		}
+		results = append(results, experiments.DescriptorResult{
+			Workload: cell.Workload, Label: cell.Label, Result: sr.Result,
+		})
+	}
+	return results, nil
+}
+
+func (f *Fleet) progress(node, line string) {
+	if f.OnProgress != nil {
+		f.OnProgress(node, line)
+	}
+}

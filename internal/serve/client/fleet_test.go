@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/serve"
+)
+
+func fleetDescriptor(t *testing.T, workloads ...string) *experiments.Descriptor {
+	t.Helper()
+	d := &experiments.Descriptor{
+		Name: "fleet-" + strings.Join(workloads, "-"), Workloads: workloads,
+		Instructions: 60_000, Warmup: 20_000, Simpoints: 1,
+		Configs: []experiments.ConfigSpec{
+			{Label: "base", Mechanism: "baseline"},
+			{Label: "udp", Mechanism: "udp"},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFleetFanOutMatchesLocal: a two-workload grid fanned across two
+// daemons reassembles in the exact workload-major order a local run
+// produces, with identical cell values.
+func TestFleetFanOutMatchesLocal(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		st, err := serve.OpenStore(t.TempDir(), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.NewServer(serve.ServerConfig{Store: st, Workers: 1})
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		urls = append(urls, hs.URL)
+	}
+	fleet, err := NewFleet(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Name = "fleet-test"
+
+	d := fleetDescriptor(t, "mysql", "xgboost")
+	got, err := fleet.Run(context.Background(), d, 0)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+
+	want, err := experiments.RunDescriptor(d, nil, 0)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fleet returned %d cells, local %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Workload != want[i].Workload || got[i].Label != want[i].Label {
+			t.Fatalf("cell %d order: fleet %s/%s, local %s/%s",
+				i, got[i].Workload, got[i].Label, want[i].Workload, want[i].Label)
+		}
+		if got[i].Result != want[i].Result {
+			t.Fatalf("cell %s/%s differs:\nfleet: %+v\nlocal: %+v",
+				got[i].Workload, got[i].Label, got[i].Result, want[i].Result)
+		}
+	}
+}
+
+// TestFleetFailsOverDeadNode: with one of two nodes refusing
+// connections, every sub-descriptor still completes on the live one.
+func TestFleetFailsOverDeadNode(t *testing.T) {
+	st, err := serve.OpenStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serve.ServerConfig{Store: st, Workers: 1})
+	live := httptest.NewServer(srv.Handler())
+	defer live.Close()
+
+	// Reserve an address and close it: connection refused from attempt 1.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	fleet, err := NewFleet([]string{deadURL, live.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the per-call retry budget so the dead node fails fast.
+	for _, node := range fleet.Nodes() {
+		fleet.clients[node].MaxAttempts = 1
+	}
+
+	d := fleetDescriptor(t, "mysql", "postgres")
+	results, err := fleet.Run(context.Background(), d, 0)
+	if err != nil {
+		t.Fatalf("fleet run with a dead node: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d cells, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Result.IPC <= 0 {
+			t.Fatalf("cell %s/%s has no IPC", r.Workload, r.Label)
+		}
+	}
+}
+
+// TestFleetAllNodesDead — the failure names the last error instead of
+// hanging or returning empty results.
+func TestFleetAllNodesDead(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	fleet, err := NewFleet([]string{deadURL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.clients[deadURL].MaxAttempts = 1
+	_, err = fleet.Run(context.Background(), fleetDescriptor(t, "mysql"), 0)
+	if err == nil {
+		t.Fatal("fleet run against a dead fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "every node failed") {
+		t.Fatalf("error does not name the exhaustion: %v", err)
+	}
+}

@@ -1,0 +1,343 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
+	"udpsim/internal/serve"
+	"udpsim/internal/serve/client"
+	"udpsim/internal/serve/cluster"
+	"udpsim/internal/serve/placement"
+)
+
+// workerNode is one in-process worker daemon with its own store.
+type workerNode struct {
+	srv   *serve.Server
+	hs    *httptest.Server
+	store *serve.Store
+	url   string
+}
+
+// testCluster is a coordinator fronting n workers, all in-process.
+// The membership prober is never started: liveness changes flow only
+// from the forwarder's MarkDead, keeping tests deterministic.
+type testCluster struct {
+	workers    []*workerNode
+	members    *placement.Membership
+	coord      *serve.Server
+	coordStore *serve.Store
+	coordHS    *httptest.Server
+	client     *client.Client
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		st, err := serve.OpenStore(t.TempDir(), 0, nil)
+		if err != nil {
+			t.Fatalf("worker %d store: %v", i, err)
+		}
+		srv := serve.NewServer(serve.ServerConfig{Store: st, Workers: 1})
+		hs := httptest.NewServer(srv.Handler())
+		w := &workerNode{srv: srv, hs: hs, store: st, url: hs.URL}
+		tc.workers = append(tc.workers, w)
+		urls[i] = hs.URL
+	}
+	tc.members = placement.NewMembership(urls, placement.Config{})
+
+	var err error
+	tc.coordStore, err = serve.OpenStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatalf("coordinator store: %v", err)
+	}
+	tc.coord = serve.NewServer(serve.ServerConfig{Store: tc.coordStore, Workers: 2})
+	fwd := &cluster.Forwarder{
+		Members:   tc.members,
+		Local:     tc.coord.LocalRunner(),
+		Transport: tc.coordStore,
+		OnSpan:    tc.coord.RecordSpan,
+	}
+	tc.coord.SetRunner(fwd)
+	tc.coord.SetCluster(tc.members, nil)
+	tc.coordHS = httptest.NewServer(tc.coord.Handler())
+	tc.client = client.New(tc.coordHS.URL, nil)
+
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = tc.coord.Drain(ctx)
+		tc.coordHS.Close()
+		for _, w := range tc.workers {
+			wctx, wcancel := context.WithTimeout(context.Background(), 15*time.Second)
+			_ = w.srv.Drain(wctx)
+			wcancel()
+			w.hs.Close()
+		}
+	})
+	return tc
+}
+
+func clusterDescriptor(name string, instructions uint64) []byte {
+	return []byte(fmt.Sprintf(`{
+		"name": %q,
+		"workloads": ["mysql"],
+		"instructions": %d,
+		"warmup": 20000,
+		"simpoints": 1,
+		"configs": [
+			{"label": "base", "mechanism": "baseline"},
+			{"label": "udp", "mechanism": "udp"}
+		]
+	}`, name, instructions))
+}
+
+// TestClusterForwardByteIdentical: a job submitted to the coordinator
+// runs on exactly one worker, each grid cell simulates exactly once
+// fleet-wide, and the records a single-node daemon produces for the
+// same descriptor are byte-identical to the cluster's.
+func TestClusterForwardByteIdentical(t *testing.T) {
+	experiments.FlushResultCache()
+	tc := newTestCluster(t, 2)
+
+	missesBefore := obs.CacheMisses.Value()
+	forwardedBefore := obs.ForwardedJobs.Value()
+	desc := clusterDescriptor("cluster-fwd", 63_000)
+
+	v, err := tc.client.Submit(context.Background(), desc, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := tc.client.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != serve.JobDone {
+		t.Fatalf("job state %s (%s), want done", final.State, final.Error)
+	}
+	if len(final.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(final.Cells))
+	}
+	for _, cell := range final.Cells {
+		if cell.IPC <= 0 {
+			t.Fatalf("cell %s/%s missing IPC", cell.Workload, cell.Label)
+		}
+	}
+	if d := obs.CacheMisses.Value() - missesBefore; d != 2 {
+		t.Fatalf("fleet-wide simulations = %d, want exactly 2 (one per unique cell)", d)
+	}
+	if d := obs.ForwardedJobs.Value() - forwardedBefore; d != 1 {
+		t.Fatalf("forwarded jobs = %v, want 1", d)
+	}
+
+	// The coordinator's own store must be able to serve every cell
+	// (the forwarder writes fetched results through its transport).
+	coordRecords := map[string][]byte{}
+	for _, cell := range final.Cells {
+		sr, err := tc.client.Result(context.Background(), cell.ResultKey)
+		if err != nil {
+			t.Fatalf("coordinator result %s: %v", cell.ResultKey, err)
+		}
+		blob, _ := json.Marshal(sr)
+		coordRecords[cell.ResultKey] = blob
+	}
+
+	// Byte-identity vs. a fresh single-node daemon re-simulating from
+	// scratch (in-memory memo flushed so it cannot shortcut).
+	experiments.FlushResultCache()
+	soloStore, err := serve.OpenStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSrv := serve.NewServer(serve.ServerConfig{Store: soloStore, Workers: 1})
+	soloHS := httptest.NewServer(soloSrv.Handler())
+	defer soloHS.Close()
+	soloC := client.New(soloHS.URL, nil)
+	sv, err := soloC.Submit(context.Background(), desc, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("solo submit: %v", err)
+	}
+	sfinal, err := soloC.Wait(context.Background(), sv.ID)
+	if err != nil || sfinal.State != serve.JobDone {
+		t.Fatalf("solo wait: state=%v err=%v", sfinal, err)
+	}
+	for _, cell := range sfinal.Cells {
+		sr, err := soloC.Result(context.Background(), cell.ResultKey)
+		if err != nil {
+			t.Fatalf("solo result: %v", err)
+		}
+		blob, _ := json.Marshal(sr)
+		if got := coordRecords[cell.ResultKey]; !reflect.DeepEqual(got, blob) {
+			t.Fatalf("cluster and single-node records differ for %s/%s:\ncluster: %s\nsolo:    %s",
+				cell.Workload, cell.Label, got, blob)
+		}
+	}
+}
+
+// TestClusterWorkerDeathFailover is the acceptance scenario: kill the
+// worker running a job mid-flight and the coordinator requeues it onto
+// the survivor, the client's SSE stream on the coordinator never
+// breaks, and the job still completes with valid results.
+func TestClusterWorkerDeathFailover(t *testing.T) {
+	experiments.FlushResultCache()
+	tc := newTestCluster(t, 2)
+
+	// Big enough to give the kill a wide window (~1s of simulation).
+	desc := clusterDescriptor("cluster-kill", 800_000)
+	v, err := tc.client.Submit(context.Background(), desc, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// One continuous SSE stream on the coordinator, spanning the kill.
+	type streamResult struct {
+		view   *serve.JobView
+		events int
+		err    error
+	}
+	streamCh := make(chan streamResult, 1)
+	var evMu sync.Mutex
+	events := 0
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		view, err := tc.client.Stream(ctx, v.ID, 0, func(ev serve.Event) error {
+			evMu.Lock()
+			events++
+			evMu.Unlock()
+			return nil
+		})
+		evMu.Lock()
+		n := events
+		evMu.Unlock()
+		streamCh <- streamResult{view: view, events: n, err: err}
+	}()
+
+	// Find the worker that picked the job up, then kill it.
+	victim := -1
+	deadline := time.Now().Add(30 * time.Second)
+	for victim < 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever started the job")
+		}
+		for i, w := range tc.workers {
+			jobs, err := client.New(w.url, nil).Jobs(context.Background())
+			if err != nil {
+				continue
+			}
+			for _, jv := range jobs {
+				if jv.State == serve.JobRunning {
+					victim = i
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Sever live connections (the forwarder's SSE included), then close
+	// the listener so reconnects are refused — a SIGKILL as seen from
+	// the network.
+	tc.workers[victim].hs.CloseClientConnections()
+	tc.workers[victim].hs.Close()
+	t.Logf("killed worker %d (%s)", victim, tc.workers[victim].url)
+
+	res := <-streamCh
+	if res.err != nil {
+		t.Fatalf("coordinator SSE stream broke across failover: %v", res.err)
+	}
+	if res.view == nil || res.view.State != serve.JobDone {
+		t.Fatalf("job after failover: %+v, want done", res.view)
+	}
+	for _, cell := range res.view.Cells {
+		if cell.IPC <= 0 {
+			t.Fatalf("cell %s/%s missing IPC after failover", cell.Workload, cell.Label)
+		}
+	}
+	if res.events == 0 {
+		t.Fatal("stream delivered no events")
+	}
+
+	// The failover must be visible in the coordinator's spans (a
+	// requeue) and the ring (the victim marked dead).
+	var sawRequeue bool
+	for _, sp := range tc.coord.Spans() {
+		if sp.Name == "requeue" {
+			sawRequeue = true
+		}
+	}
+	if !sawRequeue {
+		t.Fatal("no requeue span recorded — the job never failed over")
+	}
+	alive := tc.members.Alive()
+	for _, a := range alive {
+		if a == tc.workers[victim].url {
+			t.Fatal("victim still on the ring after failover")
+		}
+	}
+
+	// The survivor can serve every cell record directly.
+	survivor := tc.workers[1-victim]
+	sc := client.New(survivor.url, nil)
+	for _, cell := range res.view.Cells {
+		if _, err := sc.Result(context.Background(), cell.ResultKey); err != nil {
+			t.Fatalf("survivor missing cell %s: %v", cell.ResultKey, err)
+		}
+	}
+}
+
+// TestClusterAllWorkersDeadFallsBackLocal: with every worker gone the
+// coordinator degrades to local execution rather than failing jobs.
+func TestClusterAllWorkersDeadFallsBackLocal(t *testing.T) {
+	experiments.FlushResultCache()
+	tc := newTestCluster(t, 2)
+	for _, w := range tc.workers {
+		tc.members.MarkDead(w.url)
+	}
+	v, err := tc.client.Submit(context.Background(), clusterDescriptor("cluster-local", 64_000), client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := tc.client.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != serve.JobDone {
+		t.Fatalf("job state %s (%s), want done via local fallback", final.State, final.Error)
+	}
+}
+
+// TestForwarderShardAffinity: the same descriptor always routes to the
+// same worker, and distinct descriptors spread across the fleet.
+func TestForwarderShardAffinity(t *testing.T) {
+	urls := []string{"http://n1:1", "http://n2:1", "http://n3:1"}
+	m := placement.NewMembership(urls, placement.Config{})
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		d := &experiments.Descriptor{
+			Name: "affinity", Workloads: []string{"mysql"},
+			Instructions: uint64(60_000 + i), Warmup: 20000, Simpoints: 1,
+			Configs: []experiments.ConfigSpec{{Label: "base", Mechanism: "baseline"}},
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		key := cluster.ShardKey(d)
+		o1, _ := m.Owner(key)
+		o2, _ := m.Owner(key)
+		if o1 != o2 {
+			t.Fatalf("shard key %s unstable: %s vs %s", key, o1, o2)
+		}
+		seen[o1] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("50 distinct descriptors all landed on one worker: %v", seen)
+	}
+}

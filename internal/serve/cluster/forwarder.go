@@ -1,0 +1,295 @@
+// Package cluster is the coordinator side of a udpsimd fleet: a
+// JobRunner that, instead of simulating, routes each job to the worker
+// owning its shard on the placement ring, re-publishes the worker's
+// SSE stream onto the coordinator's own job feed, and recovers from
+// worker death by excluding the dead node and re-running the job on
+// the next candidate. Clients talk only to the coordinator and never
+// observe a failover: the coordinator's job (and its event stream)
+// stays alive across retries, and simulation results are
+// content-addressed, so a re-run never recomputes cells the first
+// attempt already persisted.
+//
+// The package sits above internal/serve (jobs, wire types) and
+// internal/serve/client (the HTTP client with retry/backoff), which is
+// why it cannot live inside internal/serve: serve/client imports
+// serve, and the forwarder needs both.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
+	"udpsim/internal/serve"
+	"udpsim/internal/serve/client"
+	"udpsim/internal/serve/placement"
+)
+
+// DefaultStealThreshold is the queue-depth gap between a job's ring
+// owner and the idlest worker past which the job is stolen by the
+// idler node. Shard affinity is worth a little queueing (the owner has
+// the shard's results hot), but not a convoy.
+const DefaultStealThreshold = 4
+
+// Forwarder is a serve.JobRunner that ships jobs to workers. Configure
+// the exported fields before first use; they must not change
+// afterwards.
+type Forwarder struct {
+	// Self is the coordinator's own advertised URL — never a forward
+	// target.
+	Self string
+	// Members is the worker fleet (including Self when the coordinator
+	// also works).
+	Members *placement.Membership
+	// Local, when set, runs jobs in-process once every remote worker is
+	// dead or excluded — the cluster degrades to a single node instead
+	// of failing jobs. Nil makes total worker loss a job failure.
+	Local serve.JobRunner
+	// Transport, when set, receives every forwarded job's fetched cell
+	// results, so the coordinator's own store can answer GET
+	// /v1/results and peer reads without another hop.
+	Transport serve.ResultTransport
+	// StealThreshold overrides DefaultStealThreshold (<= 0 keeps the
+	// default).
+	StealThreshold int
+	// OnSpan receives forward/requeue lifecycle spans (nil = dropped).
+	OnSpan func(obs.Span)
+	// HTTPClient is used for the per-worker API clients (nil = each
+	// client's default).
+	HTTPClient *http.Client
+	// Log receives forwarding lifecycle logs (nil = discard).
+	Log *slog.Logger
+
+	mu      sync.Mutex
+	clients map[string]*client.Client
+}
+
+// ShardKey is the ring key a descriptor shards by: the content address
+// of its first grid cell. Every submission of the same experiment
+// lands on the same worker (maximizing its store's hit rate), and the
+// address space of distinct experiments spreads uniformly.
+func ShardKey(d *experiments.Descriptor) string {
+	return serve.ResultAddr(experiments.CellKey(d, d.Workloads[0], d.Configs[0]))
+}
+
+func (f *Forwarder) log() *slog.Logger {
+	if f.Log != nil {
+		return f.Log
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func (f *Forwarder) span(name string, start time.Time, trace string, args map[string]any) {
+	if f.OnSpan == nil {
+		return
+	}
+	f.OnSpan(obs.Span{Trace: trace, Name: name, Start: start, End: time.Now(), Args: args})
+}
+
+// clientFor returns (caching) the API client for one worker URL.
+func (f *Forwarder) clientFor(node string) *client.Client {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.clients == nil {
+		f.clients = map[string]*client.Client{}
+	}
+	c, ok := f.clients[node]
+	if !ok {
+		c = client.New(node, f.HTTPClient)
+		c.Name = "coordinator:" + f.Self
+		f.clients[node] = c
+	}
+	return c
+}
+
+// workerLoss classifies a forwarding failure: transport errors, dead
+// streams, and 502/503 mean the worker is gone and the job should be
+// requeued elsewhere; anything else is the job's own outcome.
+func workerLoss(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusBadGateway ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	// ErrStreamEnded or a raw transport error (connection refused,
+	// reset mid-body): the client already burned its retry budget
+	// against this worker.
+	return true
+}
+
+// errCanceledRemotely reports a worker-side cancellation the
+// coordinator never asked for — the worker was SIGKILLed or drained
+// mid-job, so the job is requeued like any other worker loss.
+var errCanceledRemotely = errors.New("cluster: worker canceled the job unasked")
+
+// RunJob implements serve.JobRunner: pick the job's worker by ring
+// ownership (with work-stealing when the owner's queue runs deep),
+// forward, mirror the stream, and collect results. Dead workers are
+// marked dead, excluded, and the job re-runs on the next candidate.
+func (f *Forwarder) RunJob(ctx context.Context, j *serve.Job) ([]experiments.DescriptorResult, error) {
+	shard := ShardKey(j.Descriptor)
+	excluded := map[string]bool{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		target, ok := f.pickWorker(shard, excluded)
+		if !ok {
+			if f.Local != nil {
+				f.log().Warn("no live worker; running locally", "job", j.ID)
+				return f.Local.RunJob(ctx, j)
+			}
+			return nil, fmt.Errorf("cluster: no live worker for job %s (tried %d)", j.ID, len(excluded))
+		}
+		start := time.Now()
+		results, err := f.runOn(ctx, j, target)
+		if err == nil {
+			f.span("forward", start, j.TraceID,
+				map[string]any{"job": j.ID, "worker": target, "shard": shard[:12]})
+			obs.ForwardedJobs.Add(1)
+			return results, nil
+		}
+		if !workerLoss(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		// Worker died mid-job: exclude it, drop it from the ring
+		// immediately (the prober will revive it later), and requeue.
+		excluded[target] = true
+		f.Members.MarkDead(target)
+		f.span("requeue", start, j.TraceID,
+			map[string]any{"job": j.ID, "lost_worker": target, "err": err.Error()})
+		f.log().Warn("worker lost mid-job; requeueing", "job", j.ID, "worker", target, "err", err)
+		j.Publish("progress", map[string]string{
+			"line": fmt.Sprintf("worker %s lost; requeueing", target)})
+	}
+}
+
+// pickWorker resolves the job's target: ring candidates in ownership
+// order, skipping excluded nodes and the coordinator itself, with
+// work-stealing — when the affinity choice's queue runs
+// StealThreshold deeper than the idlest candidate's, the idle one
+// takes the job.
+func (f *Forwarder) pickWorker(shard string, excluded map[string]bool) (string, bool) {
+	ring := f.Members.Ring()
+	candidates := make([]string, 0, ring.Len())
+	for _, node := range ring.Owners(shard, ring.Len()) {
+		if node == f.Self || excluded[node] {
+			continue
+		}
+		candidates = append(candidates, node)
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	target := candidates[0]
+	threshold := f.StealThreshold
+	if threshold <= 0 {
+		threshold = DefaultStealThreshold
+	}
+	depth := func(node string) int {
+		if info, ok := f.Members.Info(node); ok {
+			return info.QueueDepth
+		}
+		return 0
+	}
+	idlest, min := target, depth(target)
+	for _, c := range candidates[1:] {
+		if d := depth(c); d < min {
+			idlest, min = c, d
+		}
+	}
+	if idlest != target && depth(target)-min >= threshold {
+		f.log().Info("stealing job from hot shard owner",
+			"owner", target, "owner_depth", depth(target), "thief", idlest, "thief_depth", min)
+		obs.Steals.Add(1)
+		return idlest, true
+	}
+	return target, true
+}
+
+// runOn forwards one job to one worker and blocks until its terminal
+// state: submit (propagating the trace), mirror progress/sample events
+// onto the coordinator job's feed, then fetch the cell results.
+func (f *Forwarder) runOn(ctx context.Context, j *serve.Job, worker string) ([]experiments.DescriptorResult, error) {
+	c := f.clientFor(worker)
+	blob, err := json.Marshal(j.Descriptor)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshaling descriptor: %w", err)
+	}
+	v, err := c.Submit(ctx, blob, client.SubmitOptions{Priority: j.Priority, TraceID: j.TraceID})
+	if err != nil {
+		return nil, err
+	}
+	// Propagate coordinator-side cancellation to the worker: when our
+	// context dies mid-forward, the remote job must not keep burning a
+	// worker slot.
+	defer func() {
+		if ctx.Err() == nil {
+			return
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if cerr := c.Cancel(cctx, v.ID); cerr != nil {
+			f.log().Warn("canceling remote job failed", "worker", worker, "job", v.ID, "err", cerr)
+		}
+	}()
+	final, err := c.Stream(ctx, v.ID, 0, func(ev serve.Event) error {
+		// Mirror only the in-flight telemetry: lifecycle events
+		// (queued/started/terminal) are the coordinator job's own.
+		switch ev.Type {
+		case "progress", "sample":
+			j.Publish(ev.Type, json.RawMessage(ev.Data))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch final.State {
+	case serve.JobDone:
+	case serve.JobCanceled:
+		// The coordinator did not cancel (ctx is live), so the worker
+		// was drained or killed under the job.
+		return nil, errCanceledRemotely
+	default:
+		return nil, fmt.Errorf("cluster: worker %s: job %s: %s", worker, final.ID, final.Error)
+	}
+	return f.collect(ctx, c, final)
+}
+
+// collect turns a worker's terminal JobView into the coordinator's
+// DescriptorResult slice by fetching each cell's content-addressed
+// record, writing each through the coordinator's transport so the next
+// reader finds it locally.
+func (f *Forwarder) collect(ctx context.Context, c *client.Client, v *serve.JobView) ([]experiments.DescriptorResult, error) {
+	results := make([]experiments.DescriptorResult, 0, len(v.Cells))
+	for _, cell := range v.Cells {
+		sr, err := c.Result(ctx, cell.ResultKey)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fetching cell %s/%s: %w", cell.Workload, cell.Label, err)
+		}
+		if f.Transport != nil {
+			if err := f.Transport.Save(sr.Key, sr.Result); err != nil {
+				f.log().Warn("storing forwarded result failed", "addr", cell.ResultKey, "err", err)
+			}
+		}
+		results = append(results, experiments.DescriptorResult{
+			Workload: cell.Workload, Label: cell.Label, Result: sr.Result,
+		})
+	}
+	return results, nil
+}

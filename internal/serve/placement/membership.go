@@ -1,0 +1,349 @@
+package placement
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeInfo is what a successful health probe learns about a node —
+// enough for placement-adjacent decisions (the coordinator's
+// work-stealing reads QueueDepth to spot hot shards).
+type NodeInfo struct {
+	// QueueDepth is the node's queued-job count at probe time.
+	QueueDepth int
+}
+
+// ProbeFunc checks one node's health. A nil error means the node is
+// serving; the returned NodeInfo is cached on the membership view.
+// Implementations must respect ctx (the prober applies a timeout).
+type ProbeFunc func(ctx context.Context, node string) (NodeInfo, error)
+
+// HTTPProbe returns a ProbeFunc that GETs {node}/readyz — readiness is
+// membership: a draining or dead daemon drops off the ring, and a
+// revived one rejoins on its next successful probe. The response body
+// (the daemon's Health JSON) supplies the queue depth. hc == nil uses
+// a dedicated client.
+func HTTPProbe(hc *http.Client) ProbeFunc {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return func(ctx context.Context, node string) (NodeInfo, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/readyz", nil)
+		if err != nil {
+			return NodeInfo{}, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return NodeInfo{}, err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusOK {
+			return NodeInfo{}, fmt.Errorf("placement: %s/readyz: HTTP %d", node, resp.StatusCode)
+		}
+		var h struct {
+			QueueDepth int `json:"queue_depth"`
+		}
+		_ = json.Unmarshal(body, &h) // queue depth is advisory; a bad body is still ready
+		return NodeInfo{QueueDepth: h.QueueDepth}, nil
+	}
+}
+
+// Config tunes a Membership.
+type Config struct {
+	// Self names this process's own node ("" for an outside observer
+	// like the coordinator). Self is always a member and is never
+	// probed dead — a node trivially reaches itself.
+	Self string
+	// VNodes is the per-node virtual-node count (<= 0 means
+	// DefaultVNodes).
+	VNodes int
+	// Probe health-checks one node (nil disables active probing; the
+	// view then changes only through MarkDead/MarkAlive).
+	Probe ProbeFunc
+	// Interval between probe rounds (default 2s).
+	Interval time.Duration
+	// ProbeTimeout bounds one probe call (default 2s).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures kill a node
+	// (default 2 — one blip survives, a dead TCP endpoint does not).
+	FailAfter int
+	// Log receives membership transitions (nil = discard).
+	Log *slog.Logger
+}
+
+// nodeState is one node's health bookkeeping.
+type nodeState struct {
+	alive   bool
+	fails   int // consecutive probe failures
+	info    NodeInfo
+	lastErr string
+}
+
+// Membership is the live view of a fleet: the full node set (fixed at
+// construction), which of them are currently alive, and the consistent-
+// hash ring over the alive set. Ring reads are lock-free (atomic
+// snapshot) so lookups on the job and store hot paths never contend
+// with the prober. All methods are safe for concurrent use.
+type Membership struct {
+	cfg   Config
+	names []string // all members, sorted distinct
+
+	ring atomic.Pointer[Ring] // over the alive subset
+
+	mu    sync.Mutex
+	state map[string]*nodeState
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMembership builds a view over nodes (plus cfg.Self, if set).
+// Every member starts alive — optimistic, so a fleet is usable before
+// the first probe round; the prober demotes unreachable nodes within
+// FailAfter intervals.
+func NewMembership(nodes []string, cfg Config) *Membership {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, n := range append(append([]string{}, nodes...), cfg.Self) {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	m := &Membership{
+		cfg:    cfg,
+		names:  names,
+		state:  make(map[string]*nodeState, len(names)),
+		stopCh: make(chan struct{}),
+	}
+	for _, n := range names {
+		m.state[n] = &nodeState{alive: true}
+	}
+	m.ring.Store(New(names, cfg.VNodes))
+	return m
+}
+
+// Ring returns the current ring over the alive nodes. The snapshot is
+// immutable: every lookup against it is internally consistent even
+// while the prober swaps in a new ring.
+func (m *Membership) Ring() *Ring { return m.ring.Load() }
+
+// Owner returns the alive node owning key (ok false when no node is
+// alive).
+func (m *Membership) Owner(key string) (string, bool) { return m.Ring().Owner(key) }
+
+// Owners returns up to n distinct alive nodes in ring order from the
+// key's owner.
+func (m *Membership) Owners(key string, n int) []string { return m.Ring().Owners(key, n) }
+
+// All returns every member name, sorted (alive or not).
+func (m *Membership) All() []string { return m.names }
+
+// Self returns this node's own name ("" when the membership was built
+// without one — pure observer setups).
+func (m *Membership) Self() string { return m.cfg.Self }
+
+// Alive returns the currently-alive member names, sorted.
+func (m *Membership) Alive() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, n := range m.names {
+		if m.state[n].alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Info returns the last probe result for a node and whether the node
+// is currently alive.
+func (m *Membership) Info(node string) (NodeInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.state[node]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return st.info, st.alive
+}
+
+// MarkDead demotes a node immediately — the coordinator calls this on
+// a forwarding failure so the very next placement decision excludes
+// the node instead of waiting out a probe round. The prober revives it
+// on its next successful check.
+func (m *Membership) MarkDead(node string) {
+	m.setAlive(node, false, "marked dead")
+}
+
+// MarkAlive promotes a node immediately (tests, manual revival).
+func (m *Membership) MarkAlive(node string) {
+	m.setAlive(node, true, "marked alive")
+}
+
+func (m *Membership) setAlive(node string, alive bool, why string) {
+	if node == m.cfg.Self && !alive {
+		return // a node never declares itself dead
+	}
+	m.mu.Lock()
+	st, ok := m.state[node]
+	if !ok || st.alive == alive {
+		m.mu.Unlock()
+		return
+	}
+	st.alive = alive
+	if alive {
+		st.fails = 0
+		st.lastErr = ""
+	}
+	m.rebuildLocked()
+	m.mu.Unlock()
+	m.cfg.Log.Info("membership change", "node", node, "alive", alive, "reason", why)
+}
+
+// rebuildLocked swaps in a ring over the current alive set. Caller
+// holds m.mu.
+func (m *Membership) rebuildLocked() {
+	var alive []string
+	for _, n := range m.names {
+		if m.state[n].alive {
+			alive = append(alive, n)
+		}
+	}
+	m.ring.Store(New(alive, m.cfg.VNodes))
+}
+
+// Start launches the background probe loop and returns a stop
+// function (idempotent). With no Probe configured Start is a no-op.
+func (m *Membership) Start() (stop func()) {
+	stop = func() { m.stopOnce.Do(func() { close(m.stopCh); m.wg.Wait() }) }
+	if m.cfg.Probe == nil {
+		return stop
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		tick := time.NewTicker(m.cfg.Interval)
+		defer tick.Stop()
+		m.probeRound()
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case <-tick.C:
+				m.probeRound()
+			}
+		}
+	}()
+	return stop
+}
+
+// probeRound health-checks every member (concurrently; a hung node
+// must not delay the verdict on the rest) and applies the transitions.
+func (m *Membership) probeRound() {
+	var wg sync.WaitGroup
+	for _, n := range m.names {
+		if n == m.cfg.Self {
+			continue
+		}
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ProbeTimeout)
+			info, err := m.cfg.Probe(ctx, n)
+			cancel()
+			m.noteProbe(n, info, err)
+		}()
+	}
+	wg.Wait()
+}
+
+// noteProbe folds one probe result into the view.
+func (m *Membership) noteProbe(node string, info NodeInfo, err error) {
+	m.mu.Lock()
+	st, ok := m.state[node]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	changed := false
+	if err == nil {
+		st.info = info
+		st.fails = 0
+		st.lastErr = ""
+		if !st.alive {
+			st.alive = true
+			changed = true
+		}
+	} else {
+		st.fails++
+		st.lastErr = err.Error()
+		if st.alive && st.fails >= m.cfg.FailAfter {
+			st.alive = false
+			changed = true
+		}
+	}
+	if changed {
+		m.rebuildLocked()
+	}
+	alive := st.alive
+	m.mu.Unlock()
+	if changed {
+		m.cfg.Log.Info("membership change", "node", node, "alive", alive, "err", err)
+	}
+}
+
+// NodeStatus is one member's state for debug surfaces (GET /v1/ring,
+// udpstat).
+type NodeStatus struct {
+	Node       string `json:"node"`
+	Alive      bool   `json:"alive"`
+	QueueDepth int    `json:"queue_depth"`
+	Fails      int    `json:"fails,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+	Self       bool   `json:"self,omitempty"`
+}
+
+// Status reports every member's health, sorted by node name.
+func (m *Membership) Status() []NodeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeStatus, 0, len(m.names))
+	for _, n := range m.names {
+		st := m.state[n]
+		out = append(out, NodeStatus{
+			Node:       n,
+			Alive:      st.alive,
+			QueueDepth: st.info.QueueDepth,
+			Fails:      st.fails,
+			LastError:  st.lastErr,
+			Self:       n == m.cfg.Self,
+		})
+	}
+	return out
+}

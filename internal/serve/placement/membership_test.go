@@ -1,0 +1,176 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyProbe fails nodes listed in its dead set and reports a fixed
+// queue depth for the rest.
+type flakyProbe struct {
+	mu    sync.Mutex
+	dead  map[string]bool
+	depth map[string]int
+}
+
+func (p *flakyProbe) probe(_ context.Context, node string) (NodeInfo, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[node] {
+		return NodeInfo{}, errors.New("connection refused")
+	}
+	return NodeInfo{QueueDepth: p.depth[node]}, nil
+}
+
+func (p *flakyProbe) setDead(node string, dead bool) {
+	p.mu.Lock()
+	p.dead[node] = dead
+	p.mu.Unlock()
+}
+
+func TestMembershipProbeDeathAndRevival(t *testing.T) {
+	probe := &flakyProbe{dead: map[string]bool{}, depth: map[string]int{"a": 3, "b": 7}}
+	m := NewMembership([]string{"a", "b"}, Config{
+		Probe:     probe.probe,
+		FailAfter: 2,
+	})
+	// No Start(): drive rounds synchronously for determinism.
+	m.probeRound()
+	if got := m.Alive(); len(got) != 2 {
+		t.Fatalf("alive after healthy round = %v, want both", got)
+	}
+	if info, alive := m.Info("b"); !alive || info.QueueDepth != 7 {
+		t.Fatalf("Info(b) = %+v alive=%v, want depth 7 alive", info, alive)
+	}
+
+	probe.setDead("b", true)
+	m.probeRound() // first failure: still alive (FailAfter=2)
+	if got := m.Alive(); len(got) != 2 {
+		t.Fatalf("alive after one failure = %v, want both (FailAfter=2)", got)
+	}
+	m.probeRound() // second consecutive failure: dead
+	if got := m.Alive(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("alive after two failures = %v, want [a]", got)
+	}
+	if owner, ok := m.Owner("some-key"); !ok || owner != "a" {
+		t.Fatalf("ring after death routed to %q (ok=%v), want a", owner, ok)
+	}
+
+	probe.setDead("b", false)
+	m.probeRound() // one success revives immediately
+	if got := m.Alive(); len(got) != 2 {
+		t.Fatalf("alive after revival = %v, want both", got)
+	}
+}
+
+func TestMembershipMarkDeadImmediate(t *testing.T) {
+	m := NewMembership([]string{"a", "b", "c"}, Config{})
+	m.MarkDead("b")
+	for _, s := range m.Status() {
+		if s.Node == "b" && s.Alive {
+			t.Fatal("MarkDead(b) left b alive")
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if o, _ := m.Owner(fmt.Sprintf("k%d", i)); o == "b" {
+			t.Fatalf("ring still routes key k%d to dead node b", i)
+		}
+	}
+	m.MarkAlive("b")
+	if got := m.Alive(); len(got) != 3 {
+		t.Fatalf("alive after MarkAlive = %v, want all three", got)
+	}
+}
+
+func TestMembershipSelfNeverDies(t *testing.T) {
+	m := NewMembership([]string{"other"}, Config{Self: "self"})
+	m.MarkDead("self")
+	for _, s := range m.Status() {
+		if s.Node == "self" && !s.Alive {
+			t.Fatal("self was marked dead")
+		}
+	}
+}
+
+// The acceptance criterion "same-key-same-owner under concurrent
+// membership reads": while one goroutine flips membership, concurrent
+// readers must each see an internally consistent ring — two lookups of
+// the same key against one snapshot agree, and every answer is a
+// member that was alive in some recent view. Run with -race.
+func TestMembershipConcurrentReads(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	m := NewMembership(nodes, Config{})
+	valid := map[string]bool{}
+	for _, n := range nodes {
+		valid[n] = true
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // membership churn
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			victim := nodes[i%len(nodes)]
+			m.MarkDead(victim)
+			m.MarkAlive(victim)
+		}
+	}()
+
+	ks := keys(64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := ks[i%len(ks)]
+				r := m.Ring() // one immutable snapshot
+				o1, ok1 := r.Owner(k)
+				o2, ok2 := r.Owner(k)
+				if ok1 != ok2 || o1 != o2 {
+					t.Errorf("same snapshot, same key, different owners: %q vs %q", o1, o2)
+					return
+				}
+				if ok1 && !valid[o1] {
+					t.Errorf("owner %q is not a member", o1)
+					return
+				}
+			}
+		}()
+	}
+	// Let readers run against live churn briefly, then stop the churner.
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestMembershipStartStop(t *testing.T) {
+	var calls atomic.Int64
+	m := NewMembership([]string{"a"}, Config{
+		Interval: time.Millisecond,
+		Probe: func(context.Context, string) (NodeInfo, error) {
+			calls.Add(1)
+			return NodeInfo{}, nil
+		},
+	})
+	stop := m.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if calls.Load() < 3 {
+		t.Fatalf("prober made only %d calls", calls.Load())
+	}
+	stop()
+	stop() // idempotent
+	after := calls.Load()
+	time.Sleep(10 * time.Millisecond)
+	if calls.Load() != after {
+		t.Fatal("prober kept running after stop")
+	}
+}

@@ -1,0 +1,140 @@
+// Package placement is the cluster's data-placement layer: a
+// consistent-hash ring with virtual nodes over result-store content
+// addresses, and a health-checked membership view that rebuilds the
+// ring as nodes die and revive. The ring answers one question —
+// "which node owns this key?" — deterministically, so identical cells
+// always land on the node whose store already holds (or will hold)
+// their results, and so every node computes the same answer without
+// coordination.
+package placement
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 128
+// points per node keeps the expected ownership imbalance under a few
+// percent on small fleets while the ring stays tiny (a 16-node fleet
+// is 2048 points, one binary search per lookup).
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring: build one with New, look
+// keys up with Owner/Owners, and rebuild (cheap) when membership
+// changes. Hashes are SHA-256-derived, never seeded per process, so
+// the key→owner mapping is identical across restarts and across every
+// node of the fleet — the property the store's read-through layer and
+// the coordinator's sharding both depend on.
+type Ring struct {
+	points []point  // sorted ascending by hash
+	nodes  []string // distinct node names, sorted
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// hash64 maps a string to its position on the ring: the first 8 bytes
+// of its SHA-256, big endian. Deterministic across processes by
+// construction (unlike maphash, which seeds per process).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over the given nodes with vnodes virtual nodes
+// each (<= 0 means DefaultVNodes). Duplicate and empty node names are
+// dropped. A ring over zero nodes is valid and owns nothing.
+func New(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var distinct []string
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		distinct = append(distinct, n)
+	}
+	sort.Strings(distinct)
+	r := &Ring{nodes: distinct}
+	if len(distinct) == 0 {
+		return r
+	}
+	r.points = make([]point, 0, len(distinct)*vnodes)
+	for ni, n := range distinct {
+		for v := 0; v < vnodes; v++ {
+			// The vnode identity is "node#index": stable across rebuilds,
+			// so a node re-joining lands on exactly its old points and
+			// only the keys it owned move back.
+			r.points = append(r.points, point{hash: hash64(n + "#" + strconv.Itoa(v)), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the sort —
+		// and therefore ownership — stays deterministic.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's member names, sorted. Callers must not
+// mutate the slice.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len reports the number of physical nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// successor returns the index of the first ring point at or after h,
+// wrapping past the top.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the node owning key — the first virtual node clockwise
+// from the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.nodes[r.points[r.successor(hash64(key))].node], true
+}
+
+// Owners returns up to n distinct nodes in ring order starting at the
+// key's owner — the owner first, then its successors. This is the
+// fallback/replica order: a reader that misses on the owner tries the
+// next ring neighbor, and a coordinator excluding a dead owner
+// forwards to the next entry.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	start := r.successor(hash64(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}

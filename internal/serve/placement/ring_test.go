@@ -1,0 +1,153 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("workload=w%d|mech=m%d|sp=1", i, i%7)
+	}
+	return out
+}
+
+// The whole placement design rests on restart determinism: two rings
+// built independently (different processes, different input order)
+// must map every key to the same owner.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	a := New([]string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}, 0)
+	// Same membership, scrambled input order — a restart reading its
+	// peer list from a differently-ordered flag must agree.
+	b := New([]string{"http://n3:1", "http://n1:1", "http://n4:1", "http://n2:1"}, 0)
+	for _, k := range keys(5000) {
+		oa, oka := a.Owner(k)
+		ob, okb := b.Owner(k)
+		if !oka || !okb {
+			t.Fatalf("Owner(%q): ok=(%v,%v), want both true", k, oka, okb)
+		}
+		if oa != ob {
+			t.Fatalf("Owner(%q) differs across identical rings: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+// Consistent hashing's defining property: when one node of four
+// leaves, only the keys it owned move — every key owned by a survivor
+// keeps its owner, and the moved fraction is about 1/4 (bounded here
+// at the acceptance criterion's 25%, plus vnode-variance slack
+// enforced by the exact survivor-stability check).
+func TestRingKeyMovementOnNodeLeave(t *testing.T) {
+	nodes := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	before := New(nodes, 0)
+	after := New(nodes[:3], 0) // n4 leaves
+
+	const n = 20000
+	moved := 0
+	for _, k := range keys(n) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob != oa {
+			moved++
+			// Only keys the departed node owned are allowed to move.
+			if ob != "http://n4:1" {
+				t.Fatalf("key %q moved from surviving node %q to %q", k, ob, oa)
+			}
+		}
+	}
+	frac := float64(moved) / float64(n)
+	if frac > 0.25 {
+		t.Fatalf("%.1f%% of keys moved when 1 of 4 nodes left; want <= 25%%", 100*frac)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved when a node left; the departed node owned nothing?")
+	}
+}
+
+// A rejoining node must land on exactly its old vnode points, so the
+// before/after-rejoin rings are identical.
+func TestRingRejoinRestoresOwnership(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	orig := New(nodes, 64)
+	rejoined := New([]string{"d", "c", "b", "a"}, 64)
+	for _, k := range keys(2000) {
+		o1, _ := orig.Owner(k)
+		o2, _ := rejoined.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("owner of %q changed across leave+rejoin: %q vs %q", k, o1, o2)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndOwnerFirst(t *testing.T) {
+	r := New([]string{"a", "b", "c", "d"}, 0)
+	for _, k := range keys(500) {
+		owner, _ := r.Owner(k)
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v, want 3 entries", k, owners)
+		}
+		if owners[0] != owner {
+			t.Fatalf("Owners(%q)[0] = %q, want the Owner %q", k, owners[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %q: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners("k", 99); len(got) != 4 {
+		t.Fatalf("Owners capped at node count: got %d, want 4", len(got))
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := New(nil, 0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := empty.Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	single := New([]string{"only", "only", ""}, 0)
+	if single.Len() != 1 {
+		t.Fatalf("dedup failed: Len = %d, want 1", single.Len())
+	}
+	for _, k := range keys(50) {
+		if o, ok := single.Owner(k); !ok || o != "only" {
+			t.Fatalf("single-node ring Owner(%q) = %q, %v", k, o, ok)
+		}
+	}
+}
+
+// Ownership balance: with the default vnode count no node of a
+// four-node ring should own a pathological share of keys. This is a
+// sanity bound (2x the fair share), not a tight statistical claim.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := New(nodes, 0)
+	counts := map[string]int{}
+	const n = 20000
+	for _, k := range keys(n) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / float64(n)
+		if share > 0.5 || share < 0.05 {
+			t.Fatalf("node %s owns %.1f%% of keys: %v", node, 100*share, counts)
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := New([]string{"a", "b", "c", "d", "e", "f", "g", "h"}, 0)
+	ks := keys(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(ks[i%len(ks)])
+	}
+}

@@ -75,30 +75,33 @@ type Store struct {
 	dir string
 	log *slog.Logger
 
-	mu     sync.Mutex
-	lruCap int
-	lru    *list.List               // front = most recently used
-	lruIdx map[string]*list.Element // addr → element
+	mu       sync.Mutex
+	lruCap   int64 // byte budget for cached payloads
+	lruBytes int64 // payload bytes currently cached
+	lru      *list.List               // front = most recently used
+	lruIdx   map[string]*list.Element // addr → element
 }
 
 type lruEntry struct {
 	addr string
 	key  string
 	res  sim.Result
+	size int64 // payload (JSON) bytes, the unit the capacity bounds
 }
 
-// DefaultLRUEntries bounds the in-memory layer when OpenStore is given
-// a non-positive capacity. A Result is a few KB, so 4096 entries is
-// tens of MB — enough to hold a full paper-scale sweep grid hot.
-const DefaultLRUEntries = 4096
+// DefaultCacheBytes bounds the in-memory layer when OpenStore is given
+// a non-positive capacity: 64 MiB holds a full paper-scale sweep grid
+// hot (a Result payload is a few KB) without surprising a small host.
+const DefaultCacheBytes int64 = 64 << 20
 
 // OpenStore opens (creating if needed) a result store rooted at dir.
-// lruEntries bounds the in-memory layer (<= 0 means
-// DefaultLRUEntries). Leftover tmp files from a crashed writer are
+// cacheBytes budgets the in-memory LRU read layer in payload bytes
+// (<= 0 means DefaultCacheBytes; cmd/udpsimd exposes it as
+// -store-cache-mb). Leftover tmp files from a crashed writer are
 // removed; committed records are validated lazily on first read.
-func OpenStore(dir string, lruEntries int, log *slog.Logger) (*Store, error) {
-	if lruEntries <= 0 {
-		lruEntries = DefaultLRUEntries
+func OpenStore(dir string, cacheBytes int64, log *slog.Logger) (*Store, error) {
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultCacheBytes
 	}
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -115,10 +118,11 @@ func OpenStore(dir string, lruEntries int, log *slog.Logger) (*Store, error) {
 			_ = os.Remove(p)
 		}
 	}
+	obs.StoreCacheCapacityBytes.Set(float64(cacheBytes))
 	return &Store{
 		dir:    dir,
 		log:    log,
-		lruCap: lruEntries,
+		lruCap: cacheBytes,
 		lru:    list.New(),
 		lruIdx: map[string]*list.Element{},
 	}, nil
@@ -140,7 +144,7 @@ func (s *Store) Load(key string) (sim.Result, bool, error) {
 	if r, ok := s.lruGet(addr); ok {
 		return r, true, nil
 	}
-	key2, r, ok, err := s.loadDisk(addr)
+	key2, r, size, ok, err := s.loadDisk(addr)
 	if err != nil || !ok {
 		return sim.Result{}, false, err
 	}
@@ -150,7 +154,7 @@ func (s *Store) Load(key string) (sim.Result, bool, error) {
 		s.quarantine(addr, fmt.Sprintf("key mismatch: record key %q does not hash to its address", key2))
 		return sim.Result{}, false, nil
 	}
-	s.lruPut(addr, key, r)
+	s.lruPut(addr, key, r, size)
 	return r, true, nil
 }
 
@@ -169,7 +173,7 @@ func (s *Store) LoadAddr(addr string) (key string, r sim.Result, ok bool, err er
 		return e.key, e.res, true, nil
 	}
 	s.mu.Unlock()
-	key, r, ok, err = s.loadDisk(addr)
+	key, r, size, ok, err := s.loadDisk(addr)
 	if err != nil || !ok {
 		return "", sim.Result{}, false, err
 	}
@@ -177,7 +181,7 @@ func (s *Store) LoadAddr(addr string) (key string, r sim.Result, ok bool, err er
 		s.quarantine(addr, "key mismatch: record key does not hash to its address")
 		return "", sim.Result{}, false, nil
 	}
-	s.lruPut(addr, key, r)
+	s.lruPut(addr, key, r, size)
 	return key, r, true, nil
 }
 
@@ -189,44 +193,45 @@ func validAddr(addr string) bool {
 	return err == nil
 }
 
-// loadDisk reads and verifies the record at addr. Corrupt records are
-// quarantined and reported as a miss.
-func (s *Store) loadDisk(addr string) (string, sim.Result, bool, error) {
+// loadDisk reads and verifies the record at addr, returning the
+// payload size for LRU accounting. Corrupt records are quarantined and
+// reported as a miss.
+func (s *Store) loadDisk(addr string) (string, sim.Result, int64, bool, error) {
 	f, err := os.Open(s.objectPath(addr))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return "", sim.Result{}, false, nil
+			return "", sim.Result{}, 0, false, nil
 		}
-		return "", sim.Result{}, false, fmt.Errorf("serve: store read %s: %w", addr, err)
+		return "", sim.Result{}, 0, false, fmt.Errorf("serve: store read %s: %w", addr, err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
 	headerLine, err := br.ReadBytes('\n')
 	if err != nil {
 		s.quarantine(addr, fmt.Sprintf("unreadable header: %v", err))
-		return "", sim.Result{}, false, nil
+		return "", sim.Result{}, 0, false, nil
 	}
 	var h recordHeader
 	if err := json.Unmarshal(headerLine, &h); err != nil || h.V != storeVersion || h.Len < 0 {
 		s.quarantine(addr, "malformed header")
-		return "", sim.Result{}, false, nil
+		return "", sim.Result{}, 0, false, nil
 	}
 	payload, err := io.ReadAll(io.LimitReader(br, int64(h.Len)+1))
 	if err != nil || len(payload) != h.Len {
 		s.quarantine(addr, fmt.Sprintf("payload length %d != recorded %d (truncated or padded)", len(payload), h.Len))
-		return "", sim.Result{}, false, nil
+		return "", sim.Result{}, 0, false, nil
 	}
 	sum := sha256.Sum256(payload)
 	if hex.EncodeToString(sum[:]) != h.SHA256 {
 		s.quarantine(addr, "payload checksum mismatch (bit flip)")
-		return "", sim.Result{}, false, nil
+		return "", sim.Result{}, 0, false, nil
 	}
 	var r sim.Result
 	if err := json.Unmarshal(payload, &r); err != nil {
 		s.quarantine(addr, fmt.Sprintf("payload decode: %v", err))
-		return "", sim.Result{}, false, nil
+		return "", sim.Result{}, 0, false, nil
 	}
-	return h.Key, r, true, nil
+	return h.Key, r, int64(len(payload)), true, nil
 }
 
 // quarantine moves a corrupt record out of objects/ so it is never
@@ -243,8 +248,7 @@ func (s *Store) quarantine(addr, reason string) {
 	s.log.Warn("store: quarantined corrupt record", "addr", addr, "reason", reason)
 	s.mu.Lock()
 	if el, ok := s.lruIdx[addr]; ok {
-		s.lru.Remove(el)
-		delete(s.lruIdx, addr)
+		s.removeLocked(el)
 	}
 	s.mu.Unlock()
 }
@@ -290,7 +294,7 @@ func (s *Store) Save(key string, r sim.Result) error {
 		}
 		time.Sleep(saveBackoff << attempt)
 	}
-	s.lruPut(addr, key, r)
+	s.lruPut(addr, key, r, int64(len(payload)))
 	return nil
 }
 
@@ -336,20 +340,35 @@ func (s *Store) lruGet(addr string) (sim.Result, bool) {
 	return el.Value.(*lruEntry).res, true
 }
 
-func (s *Store) lruPut(addr, key string, r sim.Result) {
+func (s *Store) lruPut(addr, key string, r sim.Result, size int64) {
+	if size > s.lruCap {
+		return // a single over-budget payload would evict everything for nothing
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.lruIdx[addr]; ok {
-		el.Value.(*lruEntry).res = r
+		e := el.Value.(*lruEntry)
+		s.lruBytes += size - e.size
+		e.res, e.size = r, size
 		s.lru.MoveToFront(el)
-		return
+	} else {
+		s.lruIdx[addr] = s.lru.PushFront(&lruEntry{addr: addr, key: key, res: r, size: size})
+		s.lruBytes += size
 	}
-	s.lruIdx[addr] = s.lru.PushFront(&lruEntry{addr: addr, key: key, res: r})
-	for s.lru.Len() > s.lruCap {
-		tail := s.lru.Back()
-		s.lru.Remove(tail)
-		delete(s.lruIdx, tail.Value.(*lruEntry).addr)
+	for s.lruBytes > s.lruCap {
+		s.removeLocked(s.lru.Back())
 	}
+	obs.StoreCacheBytes.Set(float64(s.lruBytes))
+}
+
+// removeLocked drops one LRU element and its byte accounting. Caller
+// holds s.mu.
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	s.lru.Remove(el)
+	delete(s.lruIdx, e.addr)
+	s.lruBytes -= e.size
+	obs.StoreCacheBytes.Set(float64(s.lruBytes))
 }
 
 // LRULen reports the in-memory layer's population (tests, /debug).
@@ -357,4 +376,12 @@ func (s *Store) LRULen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lru.Len()
+}
+
+// LRUBytes reports the payload bytes currently held by the in-memory
+// layer (the udpsim_store_cache_bytes gauge's source of truth).
+func (s *Store) LRUBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lruBytes
 }

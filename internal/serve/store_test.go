@@ -163,7 +163,23 @@ func TestStoreMisfiledRecordNotServed(t *testing.T) {
 }
 
 func TestStoreLRUBounded(t *testing.T) {
-	s, err := OpenStore(t.TempDir(), 3, nil)
+	// Probe one record's in-memory footprint, then reopen with a budget
+	// of ~3 records and overfill: the cache must stay within the byte
+	// budget while the evicted records remain servable from disk.
+	probe, err := OpenStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Save("probe", testResult("probe", 1)); err != nil {
+		t.Fatal(err)
+	}
+	one := probe.LRUBytes()
+	if one <= 0 {
+		t.Fatalf("LRUBytes after one save = %d, want > 0", one)
+	}
+
+	cap3 := 3*one + one/2
+	s, err := OpenStore(t.TempDir(), cap3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +189,11 @@ func TestStoreLRUBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := s.LRULen(); n != 3 {
-		t.Fatalf("LRULen = %d, want 3", n)
+	if got := s.LRUBytes(); got > cap3 {
+		t.Fatalf("LRUBytes = %d, want <= budget %d", got, cap3)
+	}
+	if n := s.LRULen(); n < 1 || n > 3 {
+		t.Fatalf("LRULen = %d, want 1..3 under a ~3-record budget", n)
 	}
 	// Evicted entries are still on disk.
 	for _, k := range keys {

@@ -1,0 +1,351 @@
+package serve
+
+// The store transport layer: the experiment engine reads its
+// persistent cache through a ResultTransport, and the daemon picks the
+// implementation at wiring time. A single node passes its *Store
+// straight through; a cluster node wraps it in a PeerStore, which adds
+// ring-directed peer read-through (ask the key's owner before paying
+// for a simulation) and asynchronous write-back replication (push a
+// freshly computed result to the shard that owns it). The engine never
+// learns the difference — both are just a Load/Save pair with
+// miss-not-error semantics.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"udpsim/internal/obs"
+	"udpsim/internal/serve/placement"
+	"udpsim/internal/sim"
+)
+
+// ResultTransport is where results live, as seen by the experiment
+// engine's read-through cache. Load returns (zero, false, nil) on a
+// clean miss; an error means the transport itself failed and the
+// caller simulates anyway. Save failures must never fail the
+// simulation that produced the result. Implementations must be safe
+// for concurrent use.
+type ResultTransport interface {
+	Load(key string) (sim.Result, bool, error)
+	Save(key string, r sim.Result) error
+}
+
+// AddrLoader answers content-address lookups (the GET /v1/results
+// surface): given an addr, return the cache key that hashes to it and
+// the stored result. (zero, zero, false, nil) is a clean miss.
+type AddrLoader interface {
+	LoadAddr(addr string) (key string, r sim.Result, ok bool, err error)
+}
+
+// The disk store is the local transport; PeerStore is the clustered
+// one. Both also serve addr lookups, so GET /v1/results reads through
+// whichever is installed.
+var (
+	_ ResultTransport = (*Store)(nil)
+	_ ResultTransport = (*PeerStore)(nil)
+	_ AddrLoader      = (*Store)(nil)
+	_ AddrLoader      = (*PeerStore)(nil)
+)
+
+// peerFetchHeader marks a results GET as originating from another
+// node's PeerStore. The receiving handler answers from its local store
+// only: the sender is already walking the ring, and a missing key must
+// read as one bounded probe sequence, not two nodes forwarding the
+// same miss to each other forever.
+const peerFetchHeader = "X-UDPSim-Peer-Read"
+
+const (
+	// peerReadFanout is how many ring-ordered candidates a read probes:
+	// the owner plus one successor, so a single slow rebalance (or a
+	// just-died owner) does not hide a replicated result.
+	peerReadFanout = 2
+	// writeBackQueue bounds the async replication backlog; beyond it
+	// write-backs are dropped (the result is still on local disk and
+	// reachable via the read path's successor probe).
+	writeBackQueue = 128
+	// peerHTTPTimeout caps one peer round-trip. Results are small
+	// (aggregated metrics, not traces), so a slow peer is a dead peer.
+	peerHTTPTimeout = 5 * time.Second
+)
+
+// PeerStore is the cluster transport: a local disk store fronted by
+// the placement ring. Loads that miss locally are fetched from the
+// key's ring owner (and one successor) and replicated into the local
+// store; saves land locally and are pushed asynchronously to the
+// owning shard. Zero peers degrade it to exactly the local store.
+type PeerStore struct {
+	// Local is the node's own disk store (nil = memory-only node:
+	// loads go straight to peers, saves only replicate).
+	Local *Store
+	// Self is this node's advertised base URL; ring candidates equal
+	// to it are skipped (the local store already answered).
+	Self string
+	// Members is the live ring the transport routes by.
+	Members *placement.Membership
+	// HTTPClient performs peer fetches and write-backs (nil = a
+	// peerHTTPTimeout-bounded default).
+	HTTPClient *http.Client
+	// OnSpan, when set, receives one "peer-read" span per remote probe
+	// sequence. Must be safe for concurrent use.
+	OnSpan func(obs.Span)
+	// Log receives replication warnings (nil = discard).
+	Log *slog.Logger
+
+	initOnce sync.Once
+	wb       chan wbItem
+	stopCh   chan struct{}
+	loopWG   sync.WaitGroup
+	pending  sync.WaitGroup // queued-but-unsent write-backs (Flush)
+}
+
+type wbItem struct {
+	owner string
+	key   string
+	addr  string
+	res   sim.Result
+}
+
+func (p *PeerStore) init() {
+	p.initOnce.Do(func() {
+		if p.HTTPClient == nil {
+			p.HTTPClient = &http.Client{Timeout: peerHTTPTimeout}
+		}
+		if p.Log == nil {
+			p.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+		}
+		p.wb = make(chan wbItem, writeBackQueue)
+		p.stopCh = make(chan struct{})
+		p.loopWG.Add(1)
+		go p.writeBackLoop()
+	})
+}
+
+// Load answers from the local store when it can, else walks the key's
+// ring candidates. A remote hit is replicated into the local store so
+// the next read is local — read-through caching at cluster scope.
+func (p *PeerStore) Load(key string) (sim.Result, bool, error) {
+	p.init()
+	if p.Local != nil {
+		if r, ok, err := p.Local.Load(key); ok || err != nil {
+			return r, ok, err
+		}
+	}
+	addr := ResultAddr(key)
+	start := time.Now()
+	probed := 0
+	for _, owner := range p.Members.Owners(addr, peerReadFanout) {
+		if owner == p.Self {
+			continue
+		}
+		probed++
+		r, ok := p.fetch(owner, key, addr)
+		if !ok {
+			continue
+		}
+		obs.PeerReadHits.Add(1)
+		p.span(start, map[string]any{"addr": addr, "peer": owner, "hit": true})
+		if p.Local != nil {
+			if err := p.Local.Save(key, r); err != nil {
+				p.Log.Warn("peer-read replication failed", "addr", addr, "err", err)
+			}
+		}
+		return r, true, nil
+	}
+	if probed > 0 {
+		obs.PeerReadMisses.Add(1)
+		p.span(start, map[string]any{"addr": addr, "probed": probed, "hit": false})
+	}
+	return sim.Result{}, false, nil
+}
+
+// LoadAddr is Load keyed by content address — the GET /v1/results
+// path. Any node answers for any addr: a local miss walks the addr's
+// ring candidates exactly like Load, and a remote hit is replicated
+// into the local store on the way out.
+func (p *PeerStore) LoadAddr(addr string) (string, sim.Result, bool, error) {
+	p.init()
+	if p.Local != nil {
+		if key, r, ok, err := p.Local.LoadAddr(addr); ok || err != nil {
+			return key, r, ok, err
+		}
+	}
+	start := time.Now()
+	probed := 0
+	for _, owner := range p.Members.Owners(addr, peerReadFanout) {
+		if owner == p.Self {
+			continue
+		}
+		probed++
+		sr, ok := p.fetchRecord(owner, addr)
+		if !ok {
+			continue
+		}
+		obs.PeerReadHits.Add(1)
+		p.span(start, map[string]any{"addr": addr, "peer": owner, "hit": true})
+		if p.Local != nil {
+			if err := p.Local.Save(sr.Key, sr.Result); err != nil {
+				p.Log.Warn("peer-read replication failed", "addr", addr, "err", err)
+			}
+		}
+		return sr.Key, sr.Result, true, nil
+	}
+	if probed > 0 {
+		obs.PeerReadMisses.Add(1)
+		p.span(start, map[string]any{"addr": addr, "probed": probed, "hit": false})
+	}
+	return "", sim.Result{}, false, nil
+}
+
+// Save lands the result locally, then routes it to its shard: owned
+// keys are counted, foreign keys are queued for async write-back to
+// the owner. The local save's error is the caller's only signal —
+// replication failures never fail a completed simulation.
+func (p *PeerStore) Save(key string, r sim.Result) error {
+	p.init()
+	var err error
+	if p.Local != nil {
+		err = p.Local.Save(key, r)
+	}
+	addr := ResultAddr(key)
+	owner, ok := p.Members.Owner(addr)
+	if !ok || owner == p.Self {
+		obs.RingOwnedKeys.Add(1)
+		return err
+	}
+	p.pending.Add(1)
+	select {
+	case p.wb <- wbItem{owner: owner, key: key, addr: addr, res: r}:
+	default:
+		p.pending.Done()
+		p.Log.Warn("peer write-back queue full; dropping", "addr", addr, "owner", owner)
+	}
+	return err
+}
+
+// Flush blocks until every queued write-back has been attempted
+// (tests; shutdown paths that want replication to land).
+func (p *PeerStore) Flush() {
+	p.init()
+	p.pending.Wait()
+}
+
+// Close stops the write-back worker. Call Flush first if queued
+// replication should still go out.
+func (p *PeerStore) Close() {
+	p.init()
+	select {
+	case <-p.stopCh:
+	default:
+		close(p.stopCh)
+	}
+	p.loopWG.Wait()
+}
+
+func (p *PeerStore) span(start time.Time, args map[string]any) {
+	if p.OnSpan == nil {
+		return
+	}
+	p.OnSpan(obs.Span{Name: "peer-read", Start: start, End: time.Now(), Args: args})
+}
+
+// fetch GETs one candidate's copy of addr and verifies the record
+// answers for the requested key (a confused peer must read as a miss,
+// never as a wrong result).
+func (p *PeerStore) fetch(owner, key, addr string) (sim.Result, bool) {
+	sr, ok := p.fetchRecord(owner, addr)
+	if !ok {
+		return sim.Result{}, false
+	}
+	if sr.Key != key {
+		p.Log.Warn("peer served a result for the wrong key", "peer", owner, "addr", addr, "got", sr.Key)
+		return sim.Result{}, false
+	}
+	return sr.Result, true
+}
+
+// fetchRecord GETs one candidate's record for addr, marked as a
+// peer-originated probe so the remote answers local-only. Content
+// addressing is the integrity check: a record whose key does not hash
+// to the addr it was fetched from reads as a miss.
+func (p *PeerStore) fetchRecord(owner, addr string) (StoredResult, bool) {
+	req, err := http.NewRequest(http.MethodGet, peerURL(owner, addr), nil)
+	if err != nil {
+		return StoredResult{}, false
+	}
+	req.Header.Set(peerFetchHeader, "1")
+	resp, err := p.HTTPClient.Do(req)
+	if err != nil {
+		return StoredResult{}, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return StoredResult{}, false
+	}
+	var sr StoredResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&sr); err != nil {
+		p.Log.Warn("peer result undecodable", "peer", owner, "addr", addr, "err", err)
+		return StoredResult{}, false
+	}
+	if sr.Key == "" || ResultAddr(sr.Key) != addr {
+		p.Log.Warn("peer served a result that does not hash to its address",
+			"peer", owner, "addr", addr, "got", sr.Key)
+		return StoredResult{}, false
+	}
+	return sr, true
+}
+
+func (p *PeerStore) writeBackLoop() {
+	defer p.loopWG.Done()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case it := <-p.wb:
+			p.push(it)
+			p.pending.Done()
+		}
+	}
+}
+
+// push PUTs one result to its owning shard.
+func (p *PeerStore) push(it wbItem) {
+	body, err := json.Marshal(StoredResult{Key: it.key, Addr: it.addr, Result: it.res})
+	if err != nil {
+		p.Log.Warn("write-back marshal failed", "addr", it.addr, "err", err)
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, peerURL(it.owner, it.addr), strings.NewReader(string(body)))
+	if err != nil {
+		p.Log.Warn("write-back request failed", "addr", it.addr, "err", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.HTTPClient.Do(req)
+	if err != nil {
+		p.Log.Warn("write-back failed", "addr", it.addr, "owner", it.owner, "err", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		p.Log.Warn("write-back rejected", "addr", it.addr, "owner", it.owner, "status", resp.StatusCode)
+	}
+}
+
+func peerURL(base, addr string) string {
+	return fmt.Sprintf("%s/v1/results/%s", strings.TrimRight(base, "/"), addr)
+}
+
+// maxResultBytes bounds result-record bodies on the wire (peer fetch
+// responses and PUT /v1/results/{key} replication requests). Result
+// records are aggregated metrics, a few KB; 4 MiB is generous.
+const maxResultBytes = 4 << 20

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"udpsim/internal/serve/placement"
+)
+
+func httpGetBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// twoNodeFixture stands up two daemon HTTP surfaces with distinct disk
+// stores and returns them plus a membership view from node A's
+// perspective. The prober is never started: both nodes stay alive, so
+// routing is purely the ring.
+type twoNodeFixture struct {
+	storeA, storeB *Store
+	urlA, urlB     string
+	srvA, srvB     *Server
+	members        *placement.Membership // node A's view
+	membersB       *placement.Membership // node B's view (same ring)
+}
+
+func newTwoNodeFixture(t *testing.T) *twoNodeFixture {
+	t.Helper()
+	f := &twoNodeFixture{storeA: openTestStore(t), storeB: openTestStore(t)}
+	f.srvA = NewServer(ServerConfig{Store: f.storeA})
+	f.srvB = NewServer(ServerConfig{Store: f.storeB})
+	hsA := httptest.NewServer(f.srvA.Handler())
+	hsB := httptest.NewServer(f.srvB.Handler())
+	t.Cleanup(hsA.Close)
+	t.Cleanup(hsB.Close)
+	f.urlA, f.urlB = hsA.URL, hsB.URL
+	f.members = placement.NewMembership([]string{f.urlA, f.urlB},
+		placement.Config{Self: f.urlA})
+	f.membersB = placement.NewMembership([]string{f.urlA, f.urlB},
+		placement.Config{Self: f.urlB})
+	f.srvA.SetCluster(f.members, nil)
+	f.srvB.SetCluster(f.membersB, nil)
+	return f
+}
+
+// keyOwnedBy scans candidate cache keys until one's content address
+// lands on the wanted node.
+func (f *twoNodeFixture) keyOwnedBy(t *testing.T, node string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("workload=w%d|mech=udp|sp=1", i)
+		if owner, _ := f.members.Owner(ResultAddr(key)); owner == node {
+			return key
+		}
+	}
+	t.Fatal("no key owned by node in 1000 candidates — ring is degenerate")
+	return ""
+}
+
+func TestPeerStoreReadThroughReplicates(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	ps := &PeerStore{Local: f.storeA, Self: f.urlA, Members: f.members}
+	defer ps.Close()
+
+	key := f.keyOwnedBy(t, f.urlB)
+	want := testResult("peer", 2.5)
+	if err := f.storeB.Save(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := ps.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load via peer: ok=%v err=%v", ok, err)
+	}
+	if got.IPC != want.IPC || got.Workload != want.Workload {
+		t.Fatalf("peer read returned %+v, want %+v", got, want)
+	}
+	// The remote hit must have been replicated into the local store.
+	if _, ok, _ := f.storeA.Load(key); !ok {
+		t.Fatal("peer read did not replicate into the local store")
+	}
+}
+
+func TestPeerStoreSaveWritesBackToOwner(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	ps := &PeerStore{Local: f.storeA, Self: f.urlA, Members: f.members}
+	defer ps.Close()
+
+	key := f.keyOwnedBy(t, f.urlB)
+	want := testResult("wb", 3.5)
+	if err := ps.Save(key, want); err != nil {
+		t.Fatal(err)
+	}
+	ps.Flush()
+
+	if _, ok, _ := f.storeA.Load(key); !ok {
+		t.Fatal("save skipped the local store")
+	}
+	got, ok, err := f.storeB.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("owner missing the written-back record: ok=%v err=%v", ok, err)
+	}
+	if got.IPC != want.IPC {
+		t.Fatalf("write-back stored IPC %v, want %v", got.IPC, want.IPC)
+	}
+}
+
+func TestPeerStoreMissIsCleanMiss(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	ps := &PeerStore{Local: f.storeA, Self: f.urlA, Members: f.members}
+	defer ps.Close()
+
+	if _, ok, err := ps.Load(f.keyOwnedBy(t, f.urlB)); ok || err != nil {
+		t.Fatalf("fleet-wide miss must read as (false, nil): ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPeerStoreDeadPeerDegradesToLocal(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	f.members.MarkDead(f.urlB)
+	ps := &PeerStore{Local: f.storeA, Self: f.urlA, Members: f.members}
+	defer ps.Close()
+
+	key := "workload=solo|mech=udp|sp=1"
+	if err := ps.Save(key, testResult("solo", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	ps.Flush()
+	if _, ok, err := ps.Load(key); !ok || err != nil {
+		t.Fatalf("single-survivor load: ok=%v err=%v", ok, err)
+	}
+	// Nothing should have crossed the wire to the dead node.
+	if _, ok, _ := f.storeB.Load(key); ok {
+		t.Fatal("write-back reached a node marked dead")
+	}
+}
+
+func TestResultPutRejectsMismatchedKey(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	ps := &PeerStore{Local: f.storeA, Self: f.urlA, Members: f.members,
+		Log: nil}
+	defer ps.Close()
+	// Push a record whose key does not hash to the claimed address.
+	it := wbItem{owner: f.urlB, key: "honest-key", addr: ResultAddr("liar-key"), res: testResult("x", 1)}
+	ps.init()
+	ps.push(it) // the handler must 400 this; push only logs
+	if _, ok, _ := f.storeB.Load("honest-key"); ok {
+		t.Fatal("owner accepted a record whose key does not hash to its address")
+	}
+	if _, ok, _ := f.storeB.Load("liar-key"); ok {
+		t.Fatal("owner stored a record under the forged address")
+	}
+}
+
+// TestResultsGETReadsThroughPeers: any node answers GET /v1/results
+// for any addr once a PeerStore is installed — a local miss walks the
+// ring, a remote hit is replicated, and peer-originated probes stay
+// local-only so a fleet-wide miss terminates.
+func TestResultsGETReadsThroughPeers(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	psA := &PeerStore{Local: f.storeA, Self: f.urlA, Members: f.members}
+	psB := &PeerStore{Local: f.storeB, Self: f.urlB, Members: f.membersB}
+	defer psA.Close()
+	defer psB.Close()
+	f.srvA.SetCluster(f.members, psA)
+	f.srvB.SetCluster(f.membersB, psB)
+
+	// A record held only by node A, for a key A owns.
+	key := f.keyOwnedBy(t, f.urlA)
+	want := testResult("http-rt", 1.5)
+	if err := f.storeA.Save(key, want); err != nil {
+		t.Fatal(err)
+	}
+	addr := ResultAddr(key)
+
+	// A plain client GET on node B answers via peer read-through...
+	body, err := httpGetBody(f.urlB + "/v1/results/" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr StoredResult
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatalf("undecodable read-through body %q: %v", body, err)
+	}
+	if sr.Key != key || sr.Result.IPC != want.IPC {
+		t.Fatalf("read-through returned key=%q ipc=%v, want key=%q ipc=%v",
+			sr.Key, sr.Result.IPC, key, want.IPC)
+	}
+	// ...and replicates the record into B's local store.
+	if _, ok, _ := f.storeB.Load(key); !ok {
+		t.Fatal("HTTP read-through did not replicate into the serving node's store")
+	}
+
+	// A peer-marked probe is served local-only: B must 404 a record it
+	// does not hold instead of forwarding the probe onward.
+	key2 := ""
+	for i := 0; i < 1000 && key2 == ""; i++ {
+		k := fmt.Sprintf("workload=h%d|mech=udp|sp=1", i)
+		if owner, _ := f.members.Owner(ResultAddr(k)); owner == f.urlA {
+			key2 = k
+		}
+	}
+	if key2 == "" {
+		t.Fatal("no key owned by node A in 1000 candidates")
+	}
+	if err := f.storeA.Save(key2, testResult("local-only", 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, f.urlB+"/v1/results/"+ResultAddr(key2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(peerFetchHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer-marked GET got %d, want 404 (local-only)", resp.StatusCode)
+	}
+
+	// A fleet-wide miss is one bounded probe sequence ending in 404 —
+	// this hangs instead if the local-only guard is broken.
+	resp2, err := http.Get(f.urlB + "/v1/results/" + ResultAddr("missing-everywhere"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("fleet-wide miss got %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestRingEndpoint(t *testing.T) {
+	f := newTwoNodeFixture(t)
+	resp, err := httpGetBody(f.urlA + "/v1/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"enabled": true`, f.urlA, f.urlB} {
+		if !strings.Contains(resp, want) {
+			t.Fatalf("/v1/ring missing %q in:\n%s", want, resp)
+		}
+	}
+}
