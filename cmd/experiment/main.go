@@ -72,6 +72,7 @@ func main() {
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); CSV row order is unchanged")
 		batch    = flag.Bool("batch", false, "lockstep-batch grid cells sharing a workload image (one shared instruction stream per batch; CSV is byte-identical)")
 		cluster  = flag.String("cluster", "", "comma-separated udpsimd base URLs: fan the grid out across the fleet instead of simulating in-process")
+		traceIn  = flag.String("trace", "", "comma-separated recorded trace files (.udpt2) appended to the descriptor's trace set; the workload grid becomes these traces when the descriptor names none")
 		verbose  = flag.Bool("v", false, "print per-run progress (debug-level logs)")
 
 		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every simulated cell (.csv or .jsonl)")
@@ -113,6 +114,18 @@ func main() {
 	f.Close()
 	if err != nil {
 		fatal("descriptor parse failed", "err", err)
+	}
+	if *traceIn != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fatal("descriptor reread failed", "err", err)
+		}
+		if d, err = experiments.AddDescriptorTraces(raw, *traceIn); err != nil {
+			fatal("descriptor trace grafting failed", "err", err)
+		}
+	}
+	if err := experiments.ResolveTraces(d); err != nil {
+		fatal("trace resolution failed", "err", err)
 	}
 
 	if *cluster != "" && *metricsOut != "" {

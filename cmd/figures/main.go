@@ -28,6 +28,7 @@ import (
 	"udpsim/internal/obs"
 	"udpsim/internal/plot"
 	"udpsim/internal/sim"
+	"udpsim/internal/trace"
 	"udpsim/internal/workload"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "override warmup instructions")
 		simpoints = flag.Int("simpoints", 0, "override simpoints per app")
 		apps      = flag.String("workloads", "", "comma-separated workload subset")
+		traceIn   = flag.String("trace", "", "comma-separated recorded trace files (.udpt2) to use as the workload set instead of the synthetic corpus")
 		svgDir    = flag.String("svg", "", "also write FigureNN.svg files into this directory")
 		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical at any -j")
 		batch     = flag.Bool("batch", false, "lockstep-batch grid cells sharing a workload image (one shared instruction stream per batch; output is byte-identical)")
@@ -97,6 +99,20 @@ func main() {
 	}
 	if *apps != "" {
 		o.Workloads = strings.Split(*apps, ",")
+	}
+	if *traceIn != "" {
+		o.Workloads = nil
+		for _, path := range strings.Split(*traceIn, ",") {
+			src, err := trace.LoadSource(strings.TrimSpace(path))
+			if err != nil {
+				fatal("trace load failed", "path", path, "err", err)
+			}
+			workload.RegisterSource(src)
+			o.Workloads = append(o.Workloads, "trace:"+src.Name())
+		}
+		// A trace records exactly one region at one salt; multi-simpoint
+		// schedules have nothing further to sample.
+		o.Simpoints = 1
 	}
 	o.Parallelism = *parallel
 	o.Batch = *batch

@@ -19,12 +19,14 @@ import (
 	"udpsim/internal/experiments"
 	"udpsim/internal/obs"
 	"udpsim/internal/sim"
+	"udpsim/internal/trace"
 	"udpsim/internal/workload"
 )
 
 func main() {
 	var (
 		name     = flag.String("workload", "mysql", "application to simulate")
+		traceIn  = flag.String("trace", "", "sweep over a recorded trace file (.udpt2) instead of -workload")
 		mech     = flag.String("mechanism", "baseline", "prefetch mechanism")
 		param    = flag.String("param", "ftq", "swept parameter: ftq, btb, icache")
 		values   = flag.String("values", "", "comma-separated sweep values (defaults per param)")
@@ -54,19 +56,51 @@ func main() {
 		defer stopDebug()
 	}
 
-	prof, ok := workload.ByName(*name)
-	if !ok {
-		fatal("unknown workload", "workload", *name)
+	var (
+		baseConfig func(sim.Mechanism) sim.Config
+		prog       *workload.Program
+	)
+	if *traceIn != "" {
+		src, err := trace.LoadSource(*traceIn)
+		if err != nil {
+			fatal("trace load failed", "path", *traceIn, "err", err)
+		}
+		workload.RegisterSource(src)
+		*name = src.Name()
+		const margin = 150_000 // lockstep tapes run well ahead of retirement
+		if uint64(src.Len()) < *warmup+*instrs+margin {
+			avail := uint64(src.Len())
+			if avail <= *warmup+margin {
+				fatal("trace too short for -warmup", "records", src.Len(), "warmup", *warmup)
+			}
+			*instrs = avail - *warmup - margin
+			log.Info("trace shorter than requested run; clamping -instrs", "instrs", *instrs)
+		}
+		baseConfig = func(m sim.Mechanism) sim.Config {
+			return sim.NewTraceConfig(src.Name(), src.SHA256(), m)
+		}
+		prog, err = src.Image()
+		if err != nil {
+			fatal("trace image failed", "err", err)
+		}
+	} else {
+		prof, ok := workload.ByName(*name)
+		if !ok {
+			fatal("unknown workload", "workload", *name)
+		}
+		baseConfig = func(m sim.Mechanism) sim.Config {
+			return sim.NewConfig(prof, m)
+		}
+		var err error
+		prog, err = sim.SharedImage(prof)
+		if err != nil {
+			fatal("workload image failed", "err", err)
+		}
 	}
 
 	grid, err := parseGrid(*param, *values)
 	if err != nil {
 		fatal("bad sweep grid", "err", err)
-	}
-
-	prog, err := sim.SharedImage(prof)
-	if err != nil {
-		fatal("workload image failed", "err", err)
 	}
 
 	if *metricsOut != "" && *interval == 0 {
@@ -83,7 +117,7 @@ func main() {
 	}
 
 	cellConfig := func(i int) sim.Config {
-		cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
+		cfg := baseConfig(sim.Mechanism(*mech))
 		cfg.MaxInstructions = *instrs
 		cfg.WarmupInstructions = *warmup
 		applyParam(&cfg, *param, grid[i])

@@ -1,13 +1,19 @@
-// Command trace records, inspects, and selects simpoints from synthetic
-// workload traces — the repository's stand-in for the paper's
-// DynamoRIO/Intel-PT + SimPoint tooling.
+// Command trace records, inspects, converts, and selects simpoints
+// from workload traces — the repository's stand-in for the paper's
+// DynamoRIO/Intel-PT + SimPoint tooling. Recording defaults to the
+// self-contained UDPT2 format (embedded static image, chunked +
+// checksummed, gzip binary or JSONL encoding); the profile-bound UDPT1
+// format remains readable everywhere and convertible.
 //
 // Subcommands:
 //
-//	trace record -workload mysql -instrs 1000000 -o mysql.udpt
-//	trace info mysql.udpt
-//	trace simpoints -k 10 -interval 100000 mysql.udpt
-//	trace replay mysql.udpt          # re-simulate from the trace
+//	trace record -workload mysql -instrs 1000000 -o mysql.udpt2
+//	trace record -workload mysql -format v1 -o mysql.udpt
+//	trace info mysql.udpt2
+//	trace inspect -top 10 mysql.udpt2
+//	trace convert mysql.udpt mysql.udpt2
+//	trace simpoints -k 10 -interval 100000 mysql.udpt2
+//	trace replay -mechanism udp mysql.udpt2   # re-simulate from the trace
 package main
 
 import (
@@ -30,6 +36,10 @@ func main() {
 		err = cmdRecord(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "simpoints":
 		err = cmdSimpoints(os.Args[2:])
 	case "replay":
@@ -44,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: trace {record|info|simpoints|replay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: trace {record|info|inspect|convert|simpoints|replay} [flags]")
 	os.Exit(2)
 }
 
@@ -53,7 +63,9 @@ func cmdRecord(args []string) error {
 	name := fs.String("workload", "mysql", "application to trace")
 	instrs := fs.Uint64("instrs", 1_000_000, "instructions to record")
 	salt := fs.Uint64("salt", 0, "executor salt (simpoint seed)")
-	out := fs.String("o", "", "output file (default <workload>.udpt)")
+	format := fs.String("format", "v2", "trace format: v2 (self-contained) or v1 (profile-bound)")
+	encName := fs.String("enc", "binary", "v2 record encoding: binary or jsonl")
+	out := fs.String("o", "", "output file (default <workload>.udpt2, or .udpt for -format v1)")
 	fs.Parse(args)
 
 	prof, ok := workload.ByName(*name)
@@ -61,48 +73,118 @@ func cmdRecord(args []string) error {
 		return fmt.Errorf("unknown workload %q", *name)
 	}
 	path := *out
-	if path == "" {
-		path = *name + ".udpt"
+	var write func(f *os.File) error
+	switch *format {
+	case "v2":
+		enc, err := trace.ParseEncoding(*encName)
+		if err != nil {
+			return err
+		}
+		if path == "" {
+			path = *name + ".udpt2"
+		}
+		write = func(f *os.File) error { return trace.RecordN2(f, prof, *salt, *instrs, enc) }
+	case "v1":
+		if path == "" {
+			path = *name + ".udpt"
+		}
+		write = func(f *os.File) error { return trace.RecordN(f, prof, *salt, *instrs) }
+	default:
+		return fmt.Errorf("unknown format %q (want v1 or v2)", *format)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := trace.RecordN(f, prof, *salt, *instrs); err != nil {
+	if err := write(f); err != nil {
 		return err
 	}
 	info, err := os.Stat(path)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d instructions of %s to %s (%d KiB, %.2f B/instr)\n",
-		*instrs, *name, path, info.Size()/1024, float64(info.Size())/float64(*instrs))
+	fmt.Printf("recorded %d instructions of %s to %s (%s, %d KiB, %.2f B/instr)\n",
+		*instrs, *name, path, *format, info.Size()/1024, float64(info.Size())/float64(*instrs))
 	return nil
 }
 
-func openTrace(path string) (*trace.Reader, *workload.Program, error) {
+// traceHandle unifies the two formats behind the analysis surface:
+// a record reader plus the trace's program image and identity.
+type traceHandle struct {
+	r       trace.RecordReader
+	prog    *workload.Program
+	name    string
+	salt    uint64
+	version int
+	f       *os.File
+}
+
+func (h *traceHandle) Close() { h.f.Close() }
+
+// sniffVersion reads the magic without consuming the stream position.
+func sniffVersion(path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return 0, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(trace.Magic2))
+	n, _ := f.Read(magic)
+	switch string(magic[:n]) {
+	case trace.Magic2:
+		return 2, nil
+	case trace.Magic:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("%s is not a UDPT trace (magic %q)", path, magic[:n])
+}
+
+// openTrace opens a trace of either format, resolving the image: v2
+// decodes the embedded image, v1 regenerates it from the named profile.
+func openTrace(path string) (*traceHandle, error) {
+	ver, err := sniffVersion(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if ver == 2 {
+		r, err := trace.NewReader2(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		prog, err := r.Image()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &traceHandle{r: r, prog: prog, name: r.Workload(), salt: r.Salt(), version: 2, f: f}, nil
 	}
 	r, err := trace.NewReader(f)
 	if err != nil {
-		return nil, nil, err
+		f.Close()
+		return nil, err
 	}
 	prof, ok := workload.ByName(r.Workload())
 	if !ok {
-		return nil, nil, fmt.Errorf("trace references unknown workload %q", r.Workload())
+		f.Close()
+		return nil, fmt.Errorf("v1 trace references unknown workload %q (convert real traces to v2)", r.Workload())
 	}
 	if prof.Seed != r.Seed() {
-		return nil, nil, fmt.Errorf("trace seed %#x does not match current %s profile (%#x)",
+		f.Close()
+		return nil, fmt.Errorf("trace seed %#x does not match current %s profile (%#x)",
 			r.Seed(), prof.Name, prof.Seed)
 	}
 	prog, err := sim.SharedImage(prof)
 	if err != nil {
-		return nil, nil, err
+		f.Close()
+		return nil, err
 	}
-	return r, prog, nil
+	return &traceHandle{r: r, prog: prog, name: r.Workload(), salt: r.Salt(), version: 1, f: f}, nil
 }
 
 func cmdInfo(args []string) error {
@@ -111,17 +193,69 @@ func cmdInfo(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("info needs exactly one trace file")
 	}
-	r, prog, err := openTrace(fs.Arg(0))
+	h, err := openTrace(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	st, err := trace.Analyze(prog, r)
+	defer h.Close()
+	st, err := trace.Analyze(h.prog, h.r)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload   %s (salt %d)\n", r.Workload(), r.Salt())
-	fmt.Printf("image      %s\n", prog)
+	fmt.Printf("format     UDPT%d\n", h.version)
+	fmt.Printf("workload   %s (salt %d)\n", h.name, h.salt)
+	fmt.Printf("image      %s\n", h.prog)
 	fmt.Printf("dynamic    %v\n", &st)
+	return nil
+}
+
+// cmdInspect prints the corpus-triage summary: instruction count,
+// branch mix, taken rate, code footprint, and the top-N hot fetch
+// blocks. InspectReport does the formatting so tests can pin it.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of hot blocks to list")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect needs exactly one trace file")
+	}
+	h, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	st, err := trace.Analyze(h.prog, h.r)
+	if err != nil {
+		return err
+	}
+	return trace.InspectReport(os.Stdout, h.name, h.prog, &st, *top)
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	encName := fs.String("enc", "binary", "v2 record encoding: binary or jsonl")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("convert needs a v1 input and a v2 output path")
+	}
+	enc, err := trace.ParseEncoding(*encName)
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := trace.ConvertV1(out, in, enc); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s to UDPT2 (%s) at %s\n", fs.Arg(0), enc, fs.Arg(1))
 	return nil
 }
 
@@ -133,11 +267,12 @@ func cmdSimpoints(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("simpoints needs exactly one trace file")
 	}
-	r, _, err := openTrace(fs.Arg(0))
+	h, err := openTrace(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	intervals, err := trace.Intervals(r, *interval)
+	defer h.Close()
+	intervals, err := trace.Intervals(h.r, *interval)
 	if err != nil {
 		return err
 	}
@@ -154,21 +289,85 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	mech := fs.String("mechanism", "baseline", "prefetch mechanism")
 	instrs := fs.Uint64("instrs", 0, "instructions to simulate (0 = trace length minus runahead margin)")
+	warmup := fs.Uint64("warmup", 0, "warmup instructions (excluded from stats)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
 	}
-	r, prog, err := openTrace(fs.Arg(0))
+	path := fs.Arg(0)
+	ver, err := sniffVersion(path)
 	if err != nil {
 		return err
 	}
-	prof := prog.Profile()
-	cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
-	cfg.WarmupInstructions = 0
+	if ver == 2 {
+		return replayV2(path, *mech, *instrs, *warmup)
+	}
+	return replayV1(path, *mech, *instrs, *warmup)
+}
 
+// replayMargin is the oracle-runahead slack a trace must hold beyond
+// the simulated region (the frontend fetches ahead of retirement).
+const replayMargin = 10_000
+
+// replayLength sizes a run against the trace length.
+func replayLength(length, instrs, warmup uint64) (uint64, error) {
+	if length < 2*replayMargin+warmup {
+		return 0, fmt.Errorf("trace too short to replay (%d records)", length)
+	}
+	max := length - replayMargin - warmup
+	if instrs > 0 && instrs < max {
+		max = instrs
+	}
+	return max, nil
+}
+
+func replayV2(path, mech string, instrs, warmup uint64) error {
+	src, err := trace.LoadSource(path)
+	if err != nil {
+		return err
+	}
+	workload.RegisterSource(src)
+	cfg := sim.NewTraceConfig(src.Name(), src.SHA256(), sim.Mechanism(mech))
+	cfg.SeedSalt = src.Salt()
+	cfg.WarmupInstructions = warmup
+	cfg.MaxInstructions, err = replayLength(src.Len(), instrs, warmup)
+	if err != nil {
+		return err
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	res := m.Run()
+	fmt.Printf("replayed %d instructions under %s: IPC %.4f, icache MPKI %.2f\n",
+		res.Instructions, res.Mechanism, res.IPC, res.IcacheMPKI)
+	return nil
+}
+
+func replayV1(path, mech string, instrs, warmup uint64) error {
+	h, err := openTrace(path)
+	if err != nil {
+		return err
+	}
 	// Count the trace to size the run (leaving the oracle's runahead
 	// margin), then reopen for the actual replay.
-	f2, err := os.Open(fs.Arg(0))
+	var length uint64
+	for {
+		if _, err := h.r.Read(); err != nil {
+			break
+		}
+		length++
+	}
+	h.Close()
+
+	cfg := sim.NewConfig(h.prog.Profile(), sim.Mechanism(mech))
+	cfg.WarmupInstructions = warmup
+	cfg.MaxInstructions, err = replayLength(length, instrs, warmup)
+	if err != nil {
+		return err
+	}
+
+	f2, err := os.Open(path)
 	if err != nil {
 		return err
 	}
@@ -177,27 +376,11 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	var length uint64
-	for {
-		if _, err := r.Read(); err != nil {
-			break
-		}
-		length++
-	}
-	const margin = 10_000
-	if length < 2*margin {
-		return fmt.Errorf("trace too short to replay (%d records)", length)
-	}
-	cfg.MaxInstructions = length - margin
-	if *instrs > 0 && *instrs < cfg.MaxInstructions {
-		cfg.MaxInstructions = *instrs
-	}
-
-	rp, err := trace.NewReplayer(prog, r2)
+	rp, err := trace.NewReplayer(h.prog, r2)
 	if err != nil {
 		return err
 	}
-	m, err := sim.NewMachineWithSource(cfg, prog, rp)
+	m, err := sim.NewMachineWithSource(cfg, h.prog, rp)
 	if err != nil {
 		return err
 	}

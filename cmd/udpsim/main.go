@@ -10,6 +10,7 @@
 //	udpsim -workload verilator -mechanism baseline -ftq 84 -instrs 5000000
 //	udpsim -workload clang -mechanism perfect-icache -simpoints 3
 //	udpsim -workload mysql -trace-out t.json -metrics-out m.csv -interval 10000
+//	udpsim -trace mysql.udpt2 -mechanism udp
 //	udpsim -list
 package main
 
@@ -22,12 +23,14 @@ import (
 
 	"udpsim/internal/obs"
 	"udpsim/internal/sim"
+	"udpsim/internal/trace"
 	"udpsim/internal/workload"
 )
 
 func main() {
 	var (
 		name      = flag.String("workload", "mysql", "application to simulate (see -list)")
+		traceIn   = flag.String("trace", "", "replay a recorded trace file (.udpt2) instead of -workload")
 		mech      = flag.String("mechanism", "baseline", "prefetch mechanism: "+sim.MechanismNames()+" (see -list-mechanisms)")
 		ftq       = flag.Int("ftq", 32, "FTQ depth (baseline/UDP) or initial depth (UFTQ)")
 		btb       = flag.Int("btb", 8192, "BTB entries")
@@ -90,12 +93,39 @@ func main() {
 		return
 	}
 
-	prof, ok := workload.ByName(*name)
-	if !ok {
-		fatal("unknown workload (use -list)", "workload", *name)
+	var cfg sim.Config
+	if *traceIn != "" {
+		src, err := trace.LoadSource(*traceIn)
+		if err != nil {
+			fatal("trace load failed", "path", *traceIn, "err", err)
+		}
+		workload.RegisterSource(src)
+		cfg = sim.NewTraceConfig(src.Name(), src.SHA256(), sim.Mechanism(*mech))
+		if *simpoints > 1 {
+			// A trace records exactly one region; there is nothing to
+			// re-seed a second simpoint from.
+			fatal("-simpoints must be 1 when replaying a trace", "simpoints", *simpoints)
+		}
+		// The frontend runs ahead of retirement, so leave slack at the
+		// tail of the recording; clamp -instrs instead of panicking
+		// mid-run on a short trace.
+		const margin = 10_000
+		if uint64(src.Len()) < *warmup+*instrs+margin {
+			avail := uint64(src.Len())
+			if avail <= *warmup+margin {
+				fatal("trace too short for -warmup", "records", src.Len(), "warmup", *warmup)
+			}
+			*instrs = avail - *warmup - margin
+			log.Info("trace shorter than requested run; clamping -instrs",
+				"records", src.Len(), "instrs", *instrs)
+		}
+	} else {
+		prof, ok := workload.ByName(*name)
+		if !ok {
+			fatal("unknown workload (use -list)", "workload", *name)
+		}
+		cfg = sim.NewConfig(prof, sim.Mechanism(*mech))
 	}
-
-	cfg := sim.NewConfig(prof, sim.Mechanism(*mech))
 	cfg.FTQDepth = *ftq
 	cfg.BTBEntries = *btb
 	cfg.ICacheBytes = *icache

@@ -39,6 +39,33 @@ type Descriptor struct {
 	Warmup       uint64       `json:"warmup"`
 	Simpoints    int          `json:"simpoints"`
 	Configs      []ConfigSpec `json:"configs"`
+	// Traces declares UDPT2 trace workloads. A declared trace is
+	// referenced from Workloads as "trace:<name>"; when Workloads is
+	// empty and Traces is not, the workload list defaults to exactly
+	// the declared traces. The field participates in the daemon's
+	// content-addressed JobID like any other, so identical submissions
+	// dedup to one job.
+	Traces []TraceSpec `json:"traces,omitempty"`
+}
+
+// TraceSpec names one UDPT2 trace workload. At least one of File (a
+// path the runner loads) or SHA256 (the content hash of an
+// already-registered trace) must be set; ResolveTraces loads files and
+// fills hashes before any cell key is derived.
+type TraceSpec struct {
+	Name   string `json:"name"`
+	File   string `json:"file,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// FindTrace returns the declared trace spec with the given name.
+func (d *Descriptor) FindTrace(name string) (TraceSpec, bool) {
+	for _, t := range d.Traces {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TraceSpec{}, false
 }
 
 // ConfigSpec is one machine configuration in a descriptor.
@@ -137,14 +164,50 @@ func (d *Descriptor) Validate() error {
 	if len(d.Configs) == 0 {
 		bad("configs", "descriptor has no configs")
 	}
-	if len(d.Workloads) == 0 {
-		d.Workloads = append(d.Workloads, workload.Names...)
+	traceNames := map[string]bool{}
+	for i, t := range d.Traces {
+		field := func(f string) string { return fmt.Sprintf("traces[%d].%s", i, f) }
+		if t.Name == "" {
+			bad(field("name"), "trace needs a name")
+		} else if traceNames[t.Name] {
+			bad(field("name"), "duplicate trace name %q", t.Name)
+		} else if _, ok := workload.ByName(t.Name); ok {
+			bad(field("name"), "trace name %q shadows a synthetic workload", t.Name)
+		}
+		traceNames[t.Name] = true
+		if t.File == "" && t.SHA256 == "" {
+			bad(field("file"), "trace needs a file path or a sha256 of a registered trace")
+		}
+		if t.SHA256 != "" && !isHexSHA256(t.SHA256) {
+			bad(field("sha256"), "sha256 must be 64 hex characters, got %q", t.SHA256)
+		}
 	}
+	if len(d.Workloads) == 0 {
+		if len(d.Traces) > 0 {
+			for _, t := range d.Traces {
+				d.Workloads = append(d.Workloads, "trace:"+t.Name)
+			}
+		} else {
+			d.Workloads = append(d.Workloads, workload.Names...)
+		}
+	}
+	usesTrace := false
 	for i, w := range d.Workloads {
+		if tn, ok := strings.CutPrefix(w, "trace:"); ok {
+			usesTrace = true
+			if !traceNames[tn] {
+				bad(fmt.Sprintf("workloads[%d]", i), "workload %q references an undeclared trace (declared: %s)",
+					w, traceSpecNames(d.Traces))
+			}
+			continue
+		}
 		if _, ok := workload.ByName(w); !ok {
 			bad(fmt.Sprintf("workloads[%d]", i), "unknown workload %q (known: %s)",
-				w, strings.Join(workload.Names, ", "))
+				w, strings.Join(append(append([]string{}, workload.Names...), workload.ExtraNames...), ", "))
 		}
+	}
+	if usesTrace && d.Simpoints > 1 {
+		bad("simpoints", "trace workloads are a single recording and support only 1 simpoint, got %d", d.Simpoints)
 	}
 	seen := map[string]bool{}
 	for i, c := range d.Configs {
@@ -231,14 +294,53 @@ func (cs ConfigSpec) apply(cfg *sim.Config) {
 
 // CellConfig builds the full simulation configuration of one
 // (workload, config-spec) cell of a validated descriptor — the exact
-// Config RunDescriptor simulates for that cell.
+// Config RunDescriptor simulates for that cell. Trace cells
+// ("trace:<name>") key on the declared spec's SHA-256 without touching
+// the trace bytes, so cell keys — and therefore daemon dedup and store
+// addressing — are computable at submission time.
 func CellConfig(d *Descriptor, workloadName string, cs ConfigSpec) sim.Config {
-	prof := workload.MustByName(workloadName)
-	cfg := sim.NewConfig(prof, sim.Mechanism(cs.Mechanism))
+	var cfg sim.Config
+	if tn, ok := strings.CutPrefix(workloadName, "trace:"); ok {
+		spec, ok := d.FindTrace(tn)
+		if !ok {
+			panic("experiments: unvalidated descriptor: unknown trace " + tn)
+		}
+		cfg = sim.NewTraceConfig(spec.Name, spec.SHA256, sim.Mechanism(cs.Mechanism))
+	} else {
+		cfg = sim.NewConfig(workload.MustByName(workloadName), sim.Mechanism(cs.Mechanism))
+	}
 	cfg.MaxInstructions = d.Instructions
 	cfg.WarmupInstructions = d.Warmup
 	cs.apply(&cfg)
 	return cfg
+}
+
+// isHexSHA256 reports whether s is a 64-character lowercase/uppercase
+// hex string.
+func isHexSHA256(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// traceSpecNames joins declared trace names for error messages.
+func traceSpecNames(ts []TraceSpec) string {
+	if len(ts) == 0 {
+		return "none"
+	}
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return strings.Join(names, ", ")
 }
 
 // CellKey returns the canonical result-cache/store key of one cell —

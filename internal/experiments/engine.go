@@ -219,7 +219,7 @@ func runCellsBatched(ctx context.Context, cells []batchCell, workers int, onCell
 	byImage := map[string]*imageGroup{}
 	for _, g := range toRun {
 		c := cells[g.cells[0]]
-		ik := fmt.Sprintf("%s|sp=%d", sim.ProfileKey(c.cfg.Workload), c.opts.simpoints())
+		ik := fmt.Sprintf("%s|sp=%d", sim.SourceKey(c.cfg), c.opts.simpoints())
 		ig, ok := byImage[ik]
 		if !ok {
 			ig = &imageGroup{key: ik}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -238,10 +239,21 @@ func (o Options) run(name string, mech sim.Mechanism, mutate func(*sim.Config)) 
 	return o.runConfig(name, mech, cfg)
 }
 
-// cellConfig builds the simulated configuration for one grid cell.
+// cellConfig builds the simulated configuration for one grid cell. A
+// "trace:<name>" cell resolves through the source registry (the trace
+// must already be loaded and registered — cmd mains and ResolveTraces
+// do that before any grid runs).
 func (o Options) cellConfig(name string, mech sim.Mechanism, mutate func(*sim.Config)) sim.Config {
-	prof := workload.MustByName(name)
-	cfg := sim.NewConfig(prof, mech)
+	var cfg sim.Config
+	if tn, ok := strings.CutPrefix(name, "trace:"); ok {
+		src, ok := workload.SourceByName(tn)
+		if !ok {
+			panic("experiments: trace workload " + tn + " not registered")
+		}
+		cfg = sim.NewTraceConfig(tn, strings.TrimPrefix(src.Key(), "trace:"), mech)
+	} else {
+		cfg = sim.NewConfig(workload.MustByName(name), mech)
+	}
 	cfg.MaxInstructions = o.Instructions
 	cfg.WarmupInstructions = o.Warmup
 	if mutate != nil {

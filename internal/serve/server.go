@@ -381,6 +381,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Trace workloads are resolved before enqueueing: files load and
+	// register once, and the descriptor's sha256 fields are finalized so
+	// the job's content-addressed ID — and every cell key — is derived
+	// from the trace bytes, not the submitting path.
+	if err := experiments.ResolveTraces(d); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	priority := 0
 	if p := r.URL.Query().Get("priority"); p != "" {
 		priority, err = strconv.Atoi(p)

@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/obs"
+	"udpsim/internal/serve"
+	"udpsim/internal/serve/client"
+	"udpsim/internal/trace"
+	"udpsim/internal/workload"
+)
+
+// TestServerTraceDescriptorDedup is the portable-frontend daemon gate:
+// two submissions of the same trace descriptor dedup onto one
+// simulation keyed by the trace's content hash, a hash-only descriptor
+// (no file) lands on the same cell, and the result round-trips through
+// the content-addressed store across a daemon restart.
+func TestServerTraceDescriptorDedup(t *testing.T) {
+	experiments.FlushResultCache()
+	dir := t.TempDir()
+
+	// Record a trace long enough for warmup+measure plus the engine's
+	// runahead margin.
+	p := workload.MustByName("postgres")
+	p.Funcs = 30
+	p.DispatchTargets = 20
+	var buf bytes.Buffer
+	if err := trace.RecordN2(&buf, p, 6, 200_000, trace.EncBinary); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "svcdedup.udpt2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := trace.LoadSourceBytes("probe", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := probe.SHA256()
+
+	descFile := []byte(fmt.Sprintf(`{
+		"name": "trace-dedup-e2e",
+		"traces": [{"name": "svcdedup", "file": %q}],
+		"instructions": 30000,
+		"warmup": 5000,
+		"configs": [{"label": "base", "mechanism": "baseline"}]
+	}`, path))
+	descSHA := []byte(fmt.Sprintf(`{
+		"name": "trace-dedup-e2e-by-hash",
+		"traces": [{"name": "svcdedup", "sha256": %q}],
+		"instructions": 30000,
+		"warmup": 5000,
+		"configs": [{"label": "base", "mechanism": "baseline"}]
+	}`, sha))
+
+	storeDir := filepath.Join(dir, "store")
+	_, c1, stop1 := newTestDaemon(t, storeDir, serve.ServerConfig{})
+	missesBefore := obs.CacheMisses.Value()
+
+	v1, err := c1.Submit(context.Background(), descFile, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	f1, err := c1.Wait(context.Background(), v1.ID)
+	if err != nil || f1.State != serve.JobDone {
+		t.Fatalf("job 1: %+v err=%v", f1, err)
+	}
+	v2, err := c1.Submit(context.Background(), descFile, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if v2.ID != v1.ID {
+		t.Fatalf("identical trace descriptors got distinct jobs %s and %s", v1.ID, v2.ID)
+	}
+	f2, err := c1.Wait(context.Background(), v2.ID)
+	if err != nil || f2.State != serve.JobDone {
+		t.Fatalf("job 2: %+v err=%v", f2, err)
+	}
+	if d := obs.CacheMisses.Value() - missesBefore; d != 1 {
+		t.Fatalf("two submissions simulated %d cells, want exactly 1", d)
+	}
+	if len(f1.Cells) != 1 || f1.Cells[0].IPC <= 0 {
+		t.Fatalf("cell metrics missing: %+v", f1.Cells)
+	}
+	wantIPC := f1.Cells[0].IPC
+	resultKey := f1.Cells[0].ResultKey
+
+	// A descriptor that names the trace only by its content hash — no
+	// file, the daemon-resubmission shape — must land on the same cell:
+	// no new simulation, identical content address.
+	v3, err := c1.Submit(context.Background(), descSHA, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit by hash: %v", err)
+	}
+	f3, err := c1.Wait(context.Background(), v3.ID)
+	if err != nil || f3.State != serve.JobDone {
+		t.Fatalf("hash job: %+v err=%v", f3, err)
+	}
+	if d := obs.CacheMisses.Value() - missesBefore; d != 1 {
+		t.Fatalf("hash-only descriptor resimulated (misses = %d, want 1)", d)
+	}
+	if f3.Cells[0].ResultKey != resultKey {
+		t.Fatalf("hash-only submission keyed to %s, file submission to %s — cell keys must derive from the trace content hash",
+			f3.Cells[0].ResultKey, resultKey)
+	}
+	stop1()
+
+	// "Restart": flush the in-process memo cache, open a new daemon on
+	// the same store directory, resubmit. The record must be served from
+	// disk — zero simulations, one store hit, identical metrics.
+	experiments.FlushResultCache()
+	_, c2, stop2 := newTestDaemon(t, storeDir, serve.ServerConfig{})
+	defer stop2()
+	missesBefore = obs.CacheMisses.Value()
+	hitsBefore := obs.StoreHits.Value()
+	v4, err := c2.Submit(context.Background(), descFile, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	f4, err := c2.Wait(context.Background(), v4.ID)
+	if err != nil || f4.State != serve.JobDone {
+		t.Fatalf("restart job: %+v err=%v", f4, err)
+	}
+	if d := obs.CacheMisses.Value() - missesBefore; d != 0 {
+		t.Fatalf("restart resimulated %d cells, want 0", d)
+	}
+	if d := obs.StoreHits.Value() - hitsBefore; d != 1 {
+		t.Fatalf("store hits delta = %d, want 1", d)
+	}
+	if f4.Cells[0].IPC != wantIPC {
+		t.Fatalf("restarted IPC %v != original %v", f4.Cells[0].IPC, wantIPC)
+	}
+}

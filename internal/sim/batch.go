@@ -81,10 +81,10 @@ const (
 // non-nil) runs per machine after construction, before any stepping —
 // the observer hook, mirroring RunSimpointsCtx. Construction failures
 // land in errs; surviving machines still run.
-func newBatchRunner(cfgs []Config, prog *workload.Program, attach func(k int, m *Machine)) *batchRunner {
+func newBatchRunner(cfgs []Config, prog *workload.Program, tape *workload.Tape, attach func(k int, m *Machine)) *batchRunner {
 	k := len(cfgs)
 	b := &batchRunner{
-		tape:    workload.NewTape(prog, cfgs[0].SeedSalt),
+		tape:    tape,
 		ms:      make([]*Machine, k),
 		readers: make([]*workload.TapeReader, k),
 		phase:   make([]uint8, k),
@@ -339,10 +339,10 @@ func RunBatchCtx(ctx context.Context, cfgs []Config, parallelism int, attach fun
 		}
 		return make([]Result, len(cfgs)), errs
 	}
-	pk := ProfileKey(cfgs[0].Workload)
+	sk := SourceKey(cfgs[0])
 	for i := 1; i < len(cfgs); i++ {
-		if ProfileKey(cfgs[i].Workload) != pk {
-			return fail(fmt.Errorf("sim: batch mixes workload images (%q vs %q)",
+		if SourceKey(cfgs[i]) != sk {
+			return fail(fmt.Errorf("sim: batch mixes workload sources (%q vs %q)",
 				cfgs[i].Workload.Name, cfgs[0].Workload.Name))
 		}
 		if cfgs[i].SeedSalt != cfgs[0].SeedSalt {
@@ -354,7 +354,25 @@ func RunBatchCtx(ctx context.Context, cfgs []Config, parallelism int, attach fun
 	if err != nil {
 		return fail(err)
 	}
-	b := newBatchRunner(cfgs, prog, attach)
+	var tape *workload.Tape
+	if cfgs[0].TraceRef != "" {
+		// Trace-driven batch: the tape replays the registered source's
+		// recorded stream instead of a live executor, and everything
+		// downstream — lockstep scheduling, chunk trimming, equivalence
+		// to the serial path — is unchanged.
+		src, ok := workload.SourceByKey(sk)
+		if !ok {
+			return fail(fmt.Errorf("sim: trace %s not registered (load it with trace.LoadSource + workload.RegisterSource)", cfgs[0].TraceRef))
+		}
+		stream, err := src.Stream(cfgs[0].SeedSalt)
+		if err != nil {
+			return fail(err)
+		}
+		tape = workload.NewTapeFromStream(stream)
+	} else {
+		tape = workload.NewTape(prog, cfgs[0].SeedSalt)
+	}
+	b := newBatchRunner(cfgs, prog, tape, attach)
 	b.run(ctx, parallelism)
 	return b.res, b.errs
 }
@@ -375,7 +393,9 @@ func RunBatchSimpoints(ctx context.Context, cfgs []Config, n, parallelism int, a
 	for region := 0; region < n; region++ {
 		copy(rcfgs, cfgs)
 		for i := range rcfgs {
-			rcfgs[i].SeedSalt = SimpointSalt(region)
+			if rcfgs[i].TraceRef == "" {
+				rcfgs[i].SeedSalt = SimpointSalt(region)
+			}
 		}
 		var at func(int, *Machine)
 		if attach != nil {

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"udpsim/internal/workload"
+)
+
+// TestExtraCorpusConformance pins the grown scenario corpus: each extra
+// profile must stay a frontend-bound workload in its calibrated L1I
+// MPKI and static footprint band under the Table II baseline. The bands
+// are generous — they exist to catch a profile edit (or generator
+// regression) that silently turns a scenario into something the paper's
+// mechanisms no longer exercise, not to pin exact metrics.
+func TestExtraCorpusConformance(t *testing.T) {
+	bands := map[string]struct {
+		mpkiLo, mpkiHi float64
+		footLoKB       int
+		footHiKB       int
+	}{
+		// Hot dispatch loop over an unpredictable-target switch.
+		"interpreter-dispatch": {6, 25, 300, 1200},
+		// Huge churning footprint with phase rotation.
+		"jit-churn": {9, 40, 700, 2800},
+		// Deep call fans over many small handlers.
+		"rpc-storm": {6, 25, 350, 1400},
+	}
+	if len(bands) != len(workload.ExtraNames) {
+		t.Fatalf("conformance covers %d profiles, registry has %d", len(bands), len(workload.ExtraNames))
+	}
+	for _, name := range workload.ExtraNames {
+		t.Run(name, func(t *testing.T) {
+			band, ok := bands[name]
+			if !ok {
+				t.Fatalf("no conformance band for %s", name)
+			}
+			p, ok := workload.ByName(name)
+			if !ok {
+				t.Fatalf("extra profile %s not resolvable via ByName", name)
+			}
+			prog, err := SharedImage(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kb := prog.FootprintBytes() / 1024; kb < band.footLoKB || kb > band.footHiKB {
+				t.Errorf("footprint %d KiB outside band [%d, %d]", kb, band.footLoKB, band.footHiKB)
+			}
+			cfg := NewConfig(p, MechBaseline)
+			cfg.WarmupInstructions = 200_000
+			cfg.MaxInstructions = 500_000
+			r, err := RunOne(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.IcacheMPKI < band.mpkiLo || r.IcacheMPKI > band.mpkiHi {
+				t.Errorf("L1I MPKI %.2f outside band [%.1f, %.1f] — the scenario is no longer frontend-bound the way it was calibrated",
+					r.IcacheMPKI, band.mpkiLo, band.mpkiHi)
+			}
+			if r.IPC <= 0.05 || r.IPC > 6 {
+				t.Errorf("implausible IPC %.4f", r.IPC)
+			}
+		})
+	}
+}
+
+// TestExtraProfilesStayOutOfPaperCorpus pins that the grown scenarios
+// extend the corpus without disturbing the paper's 10-workload set:
+// All() is unchanged, Extras() carries the additions, and both resolve
+// through ByName.
+func TestExtraProfilesStayOutOfPaperCorpus(t *testing.T) {
+	all := map[string]bool{}
+	for _, p := range workload.All() {
+		all[p.Name] = true
+	}
+	if len(workload.Extras()) != len(workload.ExtraNames) {
+		t.Fatalf("Extras() returns %d profiles, ExtraNames has %d", len(workload.Extras()), len(workload.ExtraNames))
+	}
+	for _, name := range workload.ExtraNames {
+		if all[name] {
+			t.Errorf("extra profile %s leaked into the paper corpus All()", name)
+		}
+		p, ok := workload.ByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ByName(%q) = %+v, %t", name, p.Name, ok)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 
 	"udpsim/internal/workload"
@@ -56,6 +57,17 @@ func SharedImage(p workload.Profile) (*workload.Program, error) {
 	return c.prog, c.err
 }
 
+// workloadImage resolves the static image for a configuration: the
+// registered trace source's embedded image for trace-driven configs
+// (already decoded once at load — every machine over the same trace
+// shares it), the profile-generated shared image otherwise.
 func workloadImage(cfg Config) (*workload.Program, error) {
+	if cfg.TraceRef != "" {
+		s, ok := workload.SourceByKey("trace:" + cfg.TraceRef)
+		if !ok {
+			return nil, fmt.Errorf("sim: trace %s not registered (load it with trace.LoadSource + workload.RegisterSource)", cfg.TraceRef)
+		}
+		return s.Image()
+	}
 	return SharedImage(cfg.Workload)
 }

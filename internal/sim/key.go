@@ -23,7 +23,7 @@ import (
 // Field counts covered by the key builders. Bump these together with
 // the corresponding builder when a struct grows a field.
 const (
-	configKeyFields  = 49
+	configKeyFields  = 50
 	profileKeyFields = 28
 	tageKeyFields    = 6
 	uftqKeyFields    = 10
@@ -38,7 +38,16 @@ func ConfigKey(cfg Config) string {
 	var b strings.Builder
 	b.Grow(512)
 	b.WriteString("w{")
-	writeProfileKey(&b, cfg.Workload)
+	if cfg.TraceRef != "" {
+		// Trace-driven cells key on the trace's content hash alone: the
+		// Workload field carries only a display name, and two descriptors
+		// naming the same bytes differently must still share one cell
+		// (the daemon-dedup and store-sharding invariant).
+		b.WriteString("trace=")
+		b.WriteString(cfg.TraceRef)
+	} else {
+		writeProfileKey(&b, cfg.Workload)
+	}
 	// The mechanism is normalized so that "" and "baseline" — which
 	// build identical machines — share one key (and therefore one
 	// result-cache cell) instead of simulating twice.
@@ -77,27 +86,43 @@ func ConfigKey(cfg Config) string {
 }
 
 // ProfileKey returns a canonical string key for a workload profile
-// (used by the shared program-image cache).
+// (used by the shared program-image cache). The serialization itself
+// lives on workload.Profile — the source abstraction needs it without
+// importing sim — and its byte layout is pinned by key_test.go.
 func ProfileKey(p workload.Profile) string {
-	var b strings.Builder
-	b.Grow(256)
-	writeProfileKey(&b, p)
-	return b.String()
+	return p.Key()
 }
 
 func writeProfileKey(b *strings.Builder, p workload.Profile) {
-	fmt.Fprintf(b, "name=%s|seed=%d|funcs=%d|stmts=%d-%d|bbl=%d-%d",
-		p.Name, p.Seed, p.Funcs,
-		p.StmtsPerFunc[0], p.StmtsPerFunc[1], p.BBLInstrs[0], p.BBLInstrs[1])
-	fmt.Fprintf(b, "|wmix=%g/%g/%g/%g/%g|depth=%d|nest=%g|calldepth=%d",
-		p.WStraight, p.WDiamond, p.WLoop, p.WCall, p.WSwitch,
-		p.MaxDepth, p.NestProb, p.MaxCallDepth)
-	fmt.Fprintf(b, "|frac=%g/%g|biasp=%g|iidp=%g",
-		p.FracBiased, p.FracPeriodic, p.BiasedP, p.IIDP)
-	fmt.Fprintf(b, "|trip=%d-%d,var=%t|sw=%d-%d|disp=%d,zipf=%g,seq=%t",
-		p.LoopTrip[0], p.LoopTrip[1], p.LoopTripVariable,
-		p.SwitchTargets[0], p.SwitchTargets[1],
-		p.DispatchTargets, p.DispatchZipf, p.DispatchSequential)
-	fmt.Fprintf(b, "|load=%g|store=%g|rand=%g|region=%d|phase=%d",
-		p.LoadFrac, p.StoreFrac, p.DataRandFrac, p.DataRegionBytes, p.PhaseLen)
+	b.WriteString(p.Key())
+}
+
+// SourceKey returns the workload-source identity of a configuration:
+// the trace content hash for trace-driven cells, the full profile
+// serialization otherwise. Batch formation and image grouping key on
+// it — two configs with equal SourceKey (and SeedSalt) consume the
+// identical instruction stream.
+func SourceKey(cfg Config) string {
+	if cfg.TraceRef != "" {
+		return "trace:" + cfg.TraceRef
+	}
+	return ProfileKey(cfg.Workload)
+}
+
+// NewTraceConfig returns the Table II configuration for a trace-driven
+// run: name is the display label (Result.Workload), sha the trace
+// content hash. When the trace's Source is already registered (the
+// normal case — descriptors resolve traces before building cells) the
+// config adopts the recorded seed salt, which the source's Stream
+// validates at machine construction; the simpoint runners deliberately
+// do not re-derive salts for trace-driven configs.
+func NewTraceConfig(name, sha string, m Mechanism) Config {
+	cfg := NewConfig(workload.Profile{Name: name}, m)
+	cfg.TraceRef = sha
+	if s, ok := workload.SourceByKey("trace:" + sha); ok {
+		if ss, ok := s.(interface{ Salt() uint64 }); ok {
+			cfg.SeedSalt = ss.Salt()
+		}
+	}
+	return cfg
 }

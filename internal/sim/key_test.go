@@ -72,6 +72,9 @@ func TestConfigKeyNeverAliases(t *testing.T) {
 		"udp-threshold": func(c *Config) { c.UDP.ConfidenceThreshold++ },
 		"eip-sets":      func(c *Config) { c.EIP.Sets *= 2 },
 		"predecode":     func(c *Config) { c.PredecodeBTBFill = true },
+		"traceref": func(c *Config) {
+			c.TraceRef = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+		},
 	}
 	baseKey := ConfigKey(base)
 	seen := map[string]string{baseKey: "base"}

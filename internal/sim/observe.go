@@ -181,7 +181,11 @@ func RunSimpointsCtx(ctx context.Context, cfg Config, n, parallelism int, attach
 			return
 		}
 		c := cfg
-		c.SeedSalt = SimpointSalt(i)
+		if c.TraceRef == "" {
+			// Trace-driven configs replay one recorded region; the
+			// salt is part of the trace and must not be re-derived.
+			c.SeedSalt = SimpointSalt(i)
+		}
 		m, err := NewMachineWithProgram(c, prog)
 		if err != nil {
 			errs[i] = err

@@ -37,6 +37,16 @@ type Config struct {
 	// dynamic phases of the same static image.
 	SeedSalt uint64
 
+	// TraceRef, when non-empty, makes this a trace-driven configuration:
+	// it is the hex SHA-256 of a UDPT2 trace file whose Source must be
+	// registered (workload.RegisterSource) before machines are built.
+	// The image and instruction stream then come from the trace instead
+	// of the synthetic generator, Workload carries only the display
+	// name, and the cache key is derived from the content hash —
+	// consistent with the content-addressed result store, so daemon
+	// dedup, replication and cluster sharding work unchanged.
+	TraceRef string
+
 	// MaxInstructions ends the run after this many retired
 	// instructions.
 	MaxInstructions uint64
@@ -178,6 +188,7 @@ func NewConfig(w workload.Profile, m Mechanism) Config {
 type Machine struct {
 	cfg  Config
 	prog *workload.Program
+	src  frontend.InstrSource
 
 	Dir    *bp.Tage
 	BTB    *btb.BTB
@@ -235,6 +246,13 @@ func (m *Machine) notePhase(phase string) {
 // from cfg.Workload (use NewMachineWithProgram to share an image across
 // runs — generation of the multi-MB images is the expensive part).
 func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.TraceRef != "" {
+		prog, err := workloadImage(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewMachineWithProgram(cfg, prog)
+	}
 	prog, err := workload.Generate(cfg.Workload)
 	if err != nil {
 		return nil, err
@@ -294,8 +312,21 @@ func NewMachineWithSource(cfg Config, prog *workload.Program, src frontend.Instr
 	})
 
 	if src == nil {
-		src = workload.NewExecutor(prog, cfg.SeedSalt)
+		if cfg.TraceRef != "" {
+			s, ok := workload.SourceByKey("trace:" + cfg.TraceRef)
+			if !ok {
+				return nil, fmt.Errorf("sim: trace %s not registered (load it with trace.LoadSource + workload.RegisterSource)", cfg.TraceRef)
+			}
+			stream, err := s.Stream(cfg.SeedSalt)
+			if err != nil {
+				return nil, err
+			}
+			src = stream
+		} else {
+			src = workload.NewExecutor(prog, cfg.SeedSalt)
+		}
 	}
+	m.src = src
 	m.Oracle = frontend.NewOracleStream(src)
 
 	feCfg := frontend.Config{
@@ -464,7 +495,27 @@ func (m *Machine) Run() Result {
 // microseconds of simulation) and returns ctx's error as soon as it is
 // observed, discarding the partial region. A nil or background context
 // degrades to the plain uncancellable Run.
-func (m *Machine) RunCtx(ctx context.Context) (Result, error) {
+func (m *Machine) RunCtx(ctx context.Context) (res Result, err error) {
+	// Trace replay has no per-cycle error path, so cancellation reaches
+	// it through a duck-typed context on the stream plus a panic/recover
+	// abort protocol; the synthetic executor implements neither and the
+	// run loop below is untouched (bit-identical to the uncancellable
+	// path).
+	if ctx != nil && ctx.Done() != nil {
+		if cs, ok := m.src.(interface{ SetRunContext(context.Context) }); ok {
+			cs.SetRunContext(ctx)
+			defer cs.SetRunContext(nil)
+			defer func() {
+				if r := recover(); r != nil {
+					ab, ok := r.(interface{ RunAborted() error })
+					if !ok {
+						panic(r)
+					}
+					res, err = Result{}, ab.RunAborted()
+				}
+			}()
+		}
+	}
 	maxInstr := m.cfg.MaxInstructions
 	if maxInstr == 0 {
 		maxInstr = 1_000_000

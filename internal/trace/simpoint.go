@@ -35,7 +35,7 @@ type Simpoint struct {
 // intervals of intervalLen instructions. Basic blocks are identified by
 // the PC following a taken control transfer (the block leader) and
 // hashed into BBVDim buckets; vectors are L1-normalized.
-func Intervals(r *Reader, intervalLen uint64) ([]Interval, error) {
+func Intervals(r RecordReader, intervalLen uint64) ([]Interval, error) {
 	if intervalLen == 0 {
 		return nil, fmt.Errorf("trace: interval length must be positive")
 	}

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -214,6 +215,12 @@ func (r *Reader) Read() (Record, error) {
 		}
 		rec.DataAddr = isa.Addr(v)
 	}
+	// v1 has no per-record integrity check, but the writer never emits
+	// a zero target (Target 0 encodes as fall-through); a delta chain
+	// landing there is corruption, not data.
+	if rec.Target == 0 {
+		return Record{}, fmt.Errorf("trace: corrupt record %d: zero target", r.count+1)
+	}
 	r.lastPC = rec.PC
 	r.count++
 	return rec, nil
@@ -260,7 +267,14 @@ type Replayer struct {
 	prog *workload.Program
 	r    *Reader
 	seq  uint64
+	ctx  context.Context
 }
+
+// SetRunContext installs (or with nil clears) a cancellation context:
+// Next polls it every 4096 records and aborts the run through the
+// panic/recover protocol sim.RunCtx installs, so a canceled daemon job
+// stops a trace-driven run promptly instead of replaying to the end.
+func (rp *Replayer) SetRunContext(ctx context.Context) { rp.ctx = ctx }
 
 // NewReplayer builds a replayer over a program image matching the
 // trace's profile.
@@ -274,6 +288,11 @@ func NewReplayer(prog *workload.Program, r *Reader) (*Replayer, error) {
 
 // Next implements frontend.InstrSource.
 func (rp *Replayer) Next() isa.DynInstr {
+	if rp.seq&abortPollMask == 0 && rp.ctx != nil {
+		if err := rp.ctx.Err(); err != nil {
+			panic(abortError{err})
+		}
+	}
 	rec, err := rp.r.Read()
 	if err != nil {
 		panic(fmt.Sprintf("trace: replay past end of trace (%d records): %v", rp.r.Count(), err))

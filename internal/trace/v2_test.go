@@ -1,0 +1,394 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"udpsim/internal/workload"
+)
+
+// recordTiny captures n instructions of the tiny profile as a v2 trace.
+func recordTiny(t testing.TB, salt, n uint64, enc Encoding) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RecordN2(&buf, tinyProfile(), salt, n, enc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestV2RoundtripAgainstExecutor(t *testing.T) {
+	for _, enc := range []Encoding{EncBinary, EncJSONL} {
+		t.Run(enc.String(), func(t *testing.T) {
+			p := tinyProfile()
+			const n = 30_000
+			data := recordTiny(t, 5, n, enc)
+			r, err := NewReader2(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Workload() != p.Name || r.Seed() != p.Seed || r.Salt() != 5 || r.Encoding() != enc {
+				t.Errorf("header: %s/%#x/%d/%v", r.Workload(), r.Seed(), r.Salt(), r.Encoding())
+			}
+			prog := workload.MustGenerate(p)
+			live := workload.NewExecutor(prog, 5)
+			for i := 0; i < n; i++ {
+				rec, err := r.Read()
+				if err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				want := live.Next()
+				if rec.PC != want.PC() || rec.Taken != want.Taken || rec.Target != want.Target || rec.DataAddr != want.DataAddr {
+					t.Fatalf("record %d: %+v vs live %+v", i, rec, want)
+				}
+			}
+			if _, err := r.Read(); err != io.EOF {
+				t.Errorf("expected EOF, got %v", err)
+			}
+			if r.Count() != n {
+				t.Errorf("Count() = %d", r.Count())
+			}
+		})
+	}
+}
+
+// TestV2MultiChunk crosses the writer's 65536-record chunk boundary and
+// checks the binary delta state survives it.
+func TestV2MultiChunk(t *testing.T) {
+	const n = recordsPerChunk + 5_000
+	data := recordTiny(t, 0, n, EncBinary)
+	r, err := NewReader2(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.MustGenerate(tinyProfile())
+	live := workload.NewExecutor(prog, 0)
+	for i := uint64(0); i < n; i++ {
+		rec, err := r.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if want := live.Next(); rec.PC != want.PC() {
+			t.Fatalf("record %d: PC %v vs live %v (chunk-boundary delta state lost?)", i, rec.PC, want.PC())
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestV2ImageRoundtrip verifies the embedded image reconstructs the
+// exact static code the generator produced.
+func TestV2ImageRoundtrip(t *testing.T) {
+	p := tinyProfile()
+	data := recordTiny(t, 0, 10, EncBinary)
+	r, err := NewReader2(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.MustGenerate(p)
+	if got.Entry() != want.Entry() {
+		t.Errorf("entry %v vs %v", got.Entry(), want.Entry())
+	}
+	gc, wc := got.StaticCode(), want.StaticCode()
+	if len(gc) != len(wc) {
+		t.Fatalf("code size %d vs %d", len(gc), len(wc))
+	}
+	for i := range gc {
+		if gc[i] != wc[i] {
+			t.Fatalf("static instr %d: %+v vs %+v", i, gc[i], wc[i])
+		}
+	}
+}
+
+func TestConvertV1(t *testing.T) {
+	p := tinyProfile()
+	var v1 bytes.Buffer
+	const n = 8_000
+	if err := RecordN(&v1, p, 3, n); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := ConvertV1(&v2, bytes.NewReader(v1.Bytes()), EncBinary); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReader2(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Workload() != p.Name || r2.Seed() != p.Seed || r2.Salt() != 3 {
+		t.Errorf("converted header: %s/%#x/%d", r2.Workload(), r2.Seed(), r2.Salt())
+	}
+	for i := 0; i < n; i++ {
+		a, err1 := r1.Read()
+		b, err2 := r2.Read()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("read %d: %v / %v", i, err1, err2)
+		}
+		if a != b {
+			t.Fatalf("record %d: v1 %+v vs v2 %+v", i, a, b)
+		}
+	}
+	if _, err := r2.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestConvertV1UnknownProfile(t *testing.T) {
+	p := tinyProfile()
+	p.Name = "no-such-profile"
+	var v1 bytes.Buffer
+	if err := RecordN(&v1, p, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConvertV1(io.Discard, bytes.NewReader(v1.Bytes()), EncBinary); err == nil {
+		t.Error("conversion of a trace naming an unknown profile succeeded")
+	}
+}
+
+// readAll drains a reader, returning the terminal error (nil for EOF).
+func readAll(r *Reader2) error {
+	for {
+		if _, err := r.Read(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// wantFormatError opens data and expects decoding to fail with a
+// *FormatError (at open or while draining), never a panic.
+func wantFormatError(t *testing.T, data []byte) *FormatError {
+	t.Helper()
+	r, err := NewReader2(bytes.NewReader(data))
+	if err == nil {
+		err = readAll(r)
+	}
+	if err == nil {
+		t.Fatal("corrupt trace decoded cleanly")
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error is not a *FormatError: %v", err)
+	}
+	return fe
+}
+
+// v2chunks splits a v2 trace into its preamble (magic + encoding byte)
+// and framed chunks, using only the on-disk framing.
+func v2chunks(t *testing.T, data []byte) (preamble []byte, chunks [][]byte) {
+	t.Helper()
+	const pre = len(Magic2) + 1
+	preamble = data[:pre]
+	rest := data[pre:]
+	for len(rest) > 0 {
+		if len(rest) < 13 {
+			t.Fatalf("trailing %d bytes are not a chunk header", len(rest))
+		}
+		n := binary.LittleEndian.Uint32(rest[1:5])
+		end := 13 + int(n)
+		chunks = append(chunks, rest[:end])
+		rest = rest[end:]
+	}
+	return preamble, chunks
+}
+
+func TestV2Corruption(t *testing.T) {
+	valid := recordTiny(t, 0, recordsPerChunk+2_000, EncBinary) // image + 2 record chunks + end
+
+	t.Run("truncated-header", func(t *testing.T) {
+		fe := wantFormatError(t, valid[:len(valid)-6]) // end chunk header cut short
+		if !errors.Is(fe, io.ErrUnexpectedEOF) {
+			t.Errorf("truncation does not unwrap to ErrUnexpectedEOF: %v", fe)
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		pre, chunks := v2chunks(t, valid)
+		data := append(append([]byte{}, pre...), chunks[0][:len(chunks[0])-10]...)
+		fe := wantFormatError(t, data)
+		if !errors.Is(fe, io.ErrUnexpectedEOF) {
+			t.Errorf("payload truncation does not unwrap to ErrUnexpectedEOF: %v", fe)
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		data := append([]byte{}, valid...)
+		data[len(data)/2] ^= 0x40 // lands in a record payload
+		wantFormatError(t, data)
+	})
+	t.Run("length-lying", func(t *testing.T) {
+		pre, chunks := v2chunks(t, valid)
+		bad := append([]byte{}, chunks[1]...)
+		// Claim more payload than follows; CRC updated so the lie is
+		// caught by framing, not checksum.
+		binary.LittleEndian.PutUint32(bad[1:5], uint32(len(bad)-13)+999)
+		data := append(append([]byte{}, pre...), chunks[0]...)
+		data = append(data, bad...)
+		wantFormatError(t, data)
+	})
+	t.Run("implausible-length", func(t *testing.T) {
+		pre, chunks := v2chunks(t, valid)
+		bad := append([]byte{}, chunks[1]...)
+		binary.LittleEndian.PutUint32(bad[1:5], chunkPayloadMax+1)
+		data := append(append([]byte{}, pre...), chunks[0]...)
+		data = append(data, bad...)
+		fe := wantFormatError(t, data)
+		if fe.Chunk != 1 {
+			t.Errorf("failure attributed to chunk %d, want 1", fe.Chunk)
+		}
+	})
+	t.Run("implausible-record-count", func(t *testing.T) {
+		pre, chunks := v2chunks(t, valid)
+		bad := append([]byte{}, chunks[1]...)
+		binary.LittleEndian.PutUint32(bad[5:9], chunkRecordsMax+1)
+		binary.LittleEndian.PutUint32(bad[9:13], crc32.ChecksumIEEE(bad[13:]))
+		data := append(append([]byte{}, pre...), chunks[0]...)
+		data = append(data, bad...)
+		wantFormatError(t, data)
+	})
+	t.Run("lost-chunk", func(t *testing.T) {
+		pre, chunks := v2chunks(t, valid)
+		if len(chunks) != 4 {
+			t.Fatalf("expected image+2 record+end chunks, got %d", len(chunks))
+		}
+		// Drop the second record chunk: every remaining chunk is
+		// internally valid, so only the end-chunk total can notice.
+		data := append([]byte{}, pre...)
+		data = append(data, chunks[0]...)
+		data = append(data, chunks[1]...)
+		data = append(data, chunks[3]...)
+		fe := wantFormatError(t, data)
+		if !bytes.Contains([]byte(fe.Reason), []byte("count mismatch")) {
+			t.Errorf("lost chunk not caught by trailer count: %v", fe)
+		}
+	})
+	t.Run("garbage-after-magic", func(t *testing.T) {
+		data := append([]byte(Magic2), 0)
+		data = append(data, []byte("pure garbage, not a chunk at all")...)
+		wantFormatError(t, data)
+	})
+}
+
+func TestV2BadPreamble(t *testing.T) {
+	if _, err := NewReader2(bytes.NewReader([]byte("UDPT9\n\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader2(bytes.NewReader([]byte(Magic2 + "\x7f"))); err == nil {
+		t.Error("unknown encoding byte accepted")
+	}
+}
+
+func TestParseEncoding(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Encoding
+		ok   bool
+	}{
+		{"binary", EncBinary, true},
+		{"", EncBinary, true},
+		{"jsonl", EncJSONL, true},
+		{"protobuf", 0, false},
+	} {
+		got, err := ParseEncoding(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEncoding(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+func TestV2WriteAfterFlushFails(t *testing.T) {
+	prog := workload.MustGenerate(tinyProfile())
+	w, err := NewWriter2(io.Discard, prog, 0, EncBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err == nil {
+		t.Error("write after flush succeeded")
+	}
+}
+
+func TestV2CompressionDensity(t *testing.T) {
+	const n = 50_000
+	data := recordTiny(t, 0, n, EncBinary)
+	// The embedded image has a fixed cost; amortized over a real
+	// recording the per-record cost must stay comparable to v1.
+	perInstr := float64(len(data)) / n
+	if perInstr > 8 {
+		t.Errorf("%.2f bytes/instr — chunked delta compression broken", perInstr)
+	}
+}
+
+func TestSourceLoadAndStream(t *testing.T) {
+	const n = 5_000
+	data := recordTiny(t, 7, n, EncBinary)
+	src, err := LoadSourceBytes("tiny", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "tiny" || src.Salt() != 7 || src.Len() != n {
+		t.Errorf("source: %s/%d/%d", src.Name(), src.Salt(), src.Len())
+	}
+	if len(src.SHA256()) != 64 || src.Key() != "trace:"+src.SHA256() {
+		t.Errorf("key: %s", src.Key())
+	}
+	if _, err := src.Stream(8); err == nil {
+		t.Error("stream at a foreign salt accepted")
+	}
+	st, err := src.Stream(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.MustGenerate(tinyProfile())
+	live := workload.NewExecutor(prog, 7)
+	for i := 0; i < n; i++ {
+		a, b := st.Next(), live.Next()
+		if a.PC() != b.PC() || a.Taken != b.Taken || a.Target != b.Target || a.DataAddr != b.DataAddr {
+			t.Fatalf("stream mismatch at %d", i)
+		}
+		if a.Seq != uint64(i+1) {
+			t.Fatalf("Seq %d at %d", a.Seq, i)
+		}
+		if a.Static == nil {
+			t.Fatalf("record %d has no static context", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic past end of trace")
+		}
+	}()
+	st.Next()
+}
+
+func TestSourceRejectsEmptyTrace(t *testing.T) {
+	data := recordTiny(t, 0, 1, EncBinary)
+	pre, chunks := v2chunks(t, data)
+	// Image + end(total 0): structurally valid, zero records.
+	var end [8]byte
+	var hdr [13]byte
+	hdr[0] = chunkEnd
+	binary.LittleEndian.PutUint32(hdr[1:5], 8)
+	binary.LittleEndian.PutUint32(hdr[9:13], crc32.ChecksumIEEE(end[:]))
+	empty := append(append([]byte{}, pre...), chunks[0]...)
+	empty = append(empty, hdr[:]...)
+	empty = append(empty, end[:]...)
+	if _, err := LoadSourceBytes("empty", empty); err == nil {
+		t.Error("empty trace loaded as a source")
+	}
+}

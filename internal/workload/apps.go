@@ -22,9 +22,22 @@ var Names = []string{
 	"verilator", "mongodb", "tomcat", "xgboost", "mediawiki",
 }
 
-// ByName returns the profile for one application.
+// ExtraNames lists the grown scenario corpus beyond the paper's 10
+// apps: stress profiles for regimes the paper's suite underweights.
+// They are deliberately NOT in Names/All() — figure and descriptor
+// defaults stay pinned to the paper's suite — but resolve through
+// ByName like any other profile.
+var ExtraNames = []string{"interpreter-dispatch", "jit-churn", "rpc-storm"}
+
+// ByName returns the profile for one application (paper suite or
+// extended corpus).
 func ByName(name string) (Profile, bool) {
 	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range Extras() {
 		if p.Name == name {
 			return p, true
 		}
@@ -47,6 +60,11 @@ func All() []Profile {
 		mysql(), postgres(), clang(), gcc(), drupal(),
 		verilator(), mongodb(), tomcat(), xgboost(), mediawiki(),
 	}
+}
+
+// Extras returns the extended corpus profiles in ExtraNames order.
+func Extras() []Profile {
+	return []Profile{interpreterDispatch(), jitChurn(), rpcStorm()}
 }
 
 // base returns knobs shared by the server-class workloads.
@@ -222,5 +240,64 @@ func mediawiki() Profile {
 	p.FracBiased = 0.54
 	p.FracPeriodic = 0.22
 	p.DispatchZipf = 0.6
+	return p
+}
+
+// --- extended corpus (ExtraNames) ---
+
+func interpreterDispatch() Profile {
+	// Bytecode interpreter main loop: a small-ish footprint dominated by
+	// one indirect jump per "bytecode" over many case handlers, tiny
+	// basic blocks, and poor indirect predictability — the BTB/IBTB
+	// stress regime the paper's server suite only brushes (tomcat).
+	p := base("interpreter-dispatch", 0x11aa21)
+	p.Funcs = 400
+	p.DispatchTargets = 64
+	p.StmtsPerFunc = [2]int{4, 9}
+	p.BBLInstrs = [2]int{4, 8}
+	p.WStraight = 0.30
+	p.WDiamond = 0.18
+	p.WLoop = 0.10
+	p.WCall = 0.10
+	p.WSwitch = 0.32
+	p.SwitchTargets = [2]int{8, 32}
+	p.FracBiased = 0.35
+	p.FracPeriodic = 0.25
+	p.DispatchZipf = 0.9
+	return p
+}
+
+func jitChurn() Profile {
+	// JIT-compiled workload with phase-changing code footprint: a large
+	// flat function population whose hot set rotates every ~120k
+	// instructions, defeating any predictor that assumes a stationary
+	// working set (the UFTQ always-on-adaptation stressor).
+	p := base("jit-churn", 0x11aa22)
+	p.Funcs = 2000
+	p.DispatchTargets = 1500
+	p.DispatchZipf = 0.4
+	p.PhaseLen = 120_000
+	p.FracBiased = 0.55
+	p.FracPeriodic = 0.20
+	p.LoopTripVariable = true
+	return p
+}
+
+func rpcStorm() Profile {
+	// Microservice-style RPC handling: short handler bodies fanning into
+	// deep call chains, so the RAS and call-dense BTB behaviour dominate
+	// and the frontend resteers on returns far more than the server
+	// suite average.
+	p := base("rpc-storm", 0x11aa23)
+	p.Funcs = 1800
+	p.DispatchTargets = 1300
+	p.StmtsPerFunc = [2]int{3, 7}
+	p.WStraight = 0.30
+	p.WDiamond = 0.20
+	p.WLoop = 0.08
+	p.WCall = 0.32
+	p.WSwitch = 0.10
+	p.MaxCallDepth = 12
+	p.DispatchZipf = 0.7
 	return p
 }

@@ -129,6 +129,32 @@ func Generate(p Profile) (*Program, error) {
 	return prog, nil
 }
 
+// NewProgramFromImage rebuilds a Program from an externally captured
+// static image (a UDPT2 trace's embedded code layout). The resulting
+// program carries no executor metadata — conds/indirects are empty —
+// because a trace-driven run takes dynamic behaviour from the recorded
+// stream, and the frontend consults only the static fields. Code must
+// be dense from ImageBase in layout order (code[i].PC == ImageBase+4i);
+// that invariant is what makes InstrAt a single index computation.
+func NewProgramFromImage(p Profile, entry isa.Addr, code []isa.StaticInstr) (*Program, error) {
+	for i := range code {
+		if want := ImageBase + isa.Addr(i*isa.InstrBytes); code[i].PC != want {
+			return nil, fmt.Errorf("workload: image not dense at instr %d: pc %#x, want %#x", i, code[i].PC, want)
+		}
+	}
+	return &Program{
+		profile:   p,
+		code:      code,
+		entry:     entry,
+		conds:     make(map[isa.Addr]*CondMeta),
+		indirects: make(map[isa.Addr]*IndirectMeta),
+	}, nil
+}
+
+// StaticCode exposes the full static image in layout order (trace
+// recording embeds it; inspectors walk it). Callers must not mutate.
+func (pr *Program) StaticCode() []isa.StaticInstr { return pr.code }
+
 // MustGenerate is Generate for statically known-good profiles.
 func MustGenerate(p Profile) *Program {
 	prog, err := Generate(p)

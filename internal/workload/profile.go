@@ -22,6 +22,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // CondBehavior classifies how a conditional branch resolves dynamically.
@@ -167,6 +168,31 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("workload %s: bad SwitchTargets %v", p.Name, p.SwitchTargets)
 	}
 	return nil
+}
+
+// Key returns the canonical, collision-free serialization of every
+// profile field. It is the synthetic half of the workload-source cache
+// identity (sim.ProfileKey delegates here), so its byte layout is
+// load-bearing: persisted result-store entries are keyed on it. Change
+// it only with a store migration.
+func (p Profile) Key() string {
+	var b strings.Builder
+	b.Grow(256)
+	fmt.Fprintf(&b, "name=%s|seed=%d|funcs=%d|stmts=%d-%d|bbl=%d-%d",
+		p.Name, p.Seed, p.Funcs,
+		p.StmtsPerFunc[0], p.StmtsPerFunc[1], p.BBLInstrs[0], p.BBLInstrs[1])
+	fmt.Fprintf(&b, "|wmix=%g/%g/%g/%g/%g|depth=%d|nest=%g|calldepth=%d",
+		p.WStraight, p.WDiamond, p.WLoop, p.WCall, p.WSwitch,
+		p.MaxDepth, p.NestProb, p.MaxCallDepth)
+	fmt.Fprintf(&b, "|frac=%g/%g|biasp=%g|iidp=%g",
+		p.FracBiased, p.FracPeriodic, p.BiasedP, p.IIDP)
+	fmt.Fprintf(&b, "|trip=%d-%d,var=%t|sw=%d-%d|disp=%d,zipf=%g,seq=%t",
+		p.LoopTrip[0], p.LoopTrip[1], p.LoopTripVariable,
+		p.SwitchTargets[0], p.SwitchTargets[1],
+		p.DispatchTargets, p.DispatchZipf, p.DispatchSequential)
+	fmt.Fprintf(&b, "|load=%g|store=%g|rand=%g|region=%d|phase=%d",
+		p.LoadFrac, p.StoreFrac, p.DataRandFrac, p.DataRegionBytes, p.PhaseLen)
+	return b.String()
 }
 
 // rng is a SplitMix64 deterministic generator; the generator and the

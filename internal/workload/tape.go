@@ -42,7 +42,7 @@ const TapeRewindWindow = tapeRewindWindow
 // negligible.
 type Tape struct {
 	mu      sync.Mutex
-	exec    *Executor
+	src     Stream
 	chunks  [][]isa.DynInstr // chunks[c] covers [c<<shift, (c+1)<<shift); nil once trimmed
 	trimmed int              // chunks below this index are released
 	readers []*TapeReader
@@ -51,7 +51,14 @@ type Tape struct {
 // NewTape starts a tape over a fresh executor for (prog, seedSalt) —
 // the same stream NewExecutor(prog, seedSalt) would produce.
 func NewTape(prog *Program, seedSalt uint64) *Tape {
-	return &Tape{exec: NewExecutor(prog, seedSalt)}
+	return NewTapeFromStream(NewExecutor(prog, seedSalt))
+}
+
+// NewTapeFromStream starts a tape over any workload stream — how
+// trace-driven cells enter the batched lockstep path. The tape takes
+// ownership: nothing else may consume src.
+func NewTapeFromStream(src Stream) *Tape {
+	return &Tape{src: src}
 }
 
 // Reader registers a new reader at position 0. Must be called before
@@ -82,7 +89,7 @@ func (t *Tape) extendLocked(c int) {
 	for len(t.chunks) <= c {
 		chunk := make([]isa.DynInstr, tapeChunkSize)
 		for j := range chunk {
-			chunk[j] = t.exec.Next()
+			chunk[j] = t.src.Next()
 		}
 		t.chunks = append(t.chunks, chunk)
 	}
