@@ -15,6 +15,17 @@
 // local run.
 //
 //	experiment -f configs/isca.json -cluster http://w1:8091,http://w2:8091
+//
+// With -tune the command runs an autotuning search over a parameter
+// space instead of a fixed grid: seeded random sampling, successive
+// halving over region budgets, then local refinement around the
+// incumbent. Frontier updates stream to stderr; the final best config
+// prints as a table. -daemon drives the same search through a
+// udpsimd's POST /v1/tune (sharing its dedup store) instead of
+// simulating in-process.
+//
+//	experiment -tune configs/tune-smoke.json
+//	experiment -tune configs/tune-smoke.json -daemon http://127.0.0.1:8091
 package main
 
 import (
@@ -75,6 +86,10 @@ func main() {
 		traceIn  = flag.String("trace", "", "comma-separated recorded trace files (.udpt2) appended to the descriptor's trace set; the workload grid becomes these traces when the descriptor names none")
 		verbose  = flag.Bool("v", false, "print per-run progress (debug-level logs)")
 
+		tuneFile = flag.String("tune", "", "parameter-space JSON: run an autotuning search over the space instead of a grid")
+		daemon   = flag.String("daemon", "", "udpsimd base URL for -tune: drive the search through POST /v1/tune instead of in-process")
+		storeDir = flag.String("store", "", "result-store directory for a local -tune run (the acquisition cache; re-probing a known cell costs zero simulations)")
+
 		metricsOut = flag.String("metrics-out", "", "stream a per-interval metrics time series for every simulated cell (.csv or .jsonl)")
 		interval   = flag.Uint64("interval", 0, "sampling interval in cycles for -metrics-out (0 with -metrics-out defaults to 10000)")
 		pprofAddr  = flag.String("pprof", "", "serve live pprof+expvar on this address (e.g. :6060)")
@@ -91,6 +106,11 @@ func main() {
 	fatal := func(msg string, args ...any) {
 		log.Error(msg, args...)
 		os.Exit(1)
+	}
+
+	if *tuneFile != "" {
+		runTuneCmd(*tuneFile, *daemon, *storeDir, *parallel, *batch, *verbose, log, fatal)
+		return
 	}
 
 	if *file == "" {

@@ -20,8 +20,12 @@
 // Endpoints (see EXPERIMENTS.md for the full API reference):
 //
 //	POST   /v1/jobs              submit an experiment descriptor
+//	GET    /v1/jobs              list jobs (paged: ?limit= and ?after=)
 //	GET    /v1/jobs/{id}         job status (cells + result keys)
 //	GET    /v1/jobs/{id}/events  SSE stream (progress, samples, terminal)
+//	POST   /v1/tune              submit a parameter-space search (autotuning)
+//	GET    /v1/tune/{id}         tune-run status (stats + incumbent)
+//	GET    /v1/tune/{id}/events  SSE stream (probes, generations, incumbents)
 //	GET    /v1/results/{key}     content-addressed result record
 //	PUT    /v1/results/{key}     peer replication write-back
 //	GET    /v1/ring              placement ring / membership view

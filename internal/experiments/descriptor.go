@@ -87,6 +87,16 @@ type ConfigSpec struct {
 	// DRAM prefetch throttle backlog in cycles; negative disables the
 	// throttle, zero keeps the default (64 DRAM burst slots).
 	DRAMPrefetchBacklog int `json:"dram_prefetch_backlog,omitempty"`
+	// Utility-controller (UFTQ) depth-bound overrides: the initial
+	// occupancy target and the clamp range the controller may move it
+	// within. Zero keeps the Table II defaults.
+	UFTQInitialDepth int `json:"uftq_initial_depth,omitempty"`
+	UFTQMinDepth     int `json:"uftq_min_depth,omitempty"`
+	UFTQMaxDepth     int `json:"uftq_max_depth,omitempty"`
+	// UDP filter-policy overrides: the useful-fetch confidence
+	// threshold (percent) and the seniority-list capacity.
+	UDPConfidence int `json:"udp_confidence,omitempty"`
+	UDPSeniority  int `json:"udp_seniority,omitempty"`
 }
 
 // FieldError locates one invalid descriptor field: which field (in a
@@ -223,6 +233,10 @@ func (d *Descriptor) Validate() error {
 			bad(fmt.Sprintf("configs[%d].mechanism", i), "unknown mechanism %q (registered: %s)",
 				c.Mechanism, sim.MechanismNames())
 		}
+		if c.UFTQMinDepth > 0 && c.UFTQMaxDepth > 0 && c.UFTQMinDepth > c.UFTQMaxDepth {
+			bad(fmt.Sprintf("configs[%d].uftq_min_depth", i),
+				"uftq_min_depth %d exceeds uftq_max_depth %d", c.UFTQMinDepth, c.UFTQMaxDepth)
+		}
 	}
 	if len(ve.Fields) > 0 {
 		return ve
@@ -289,6 +303,21 @@ func (cs ConfigSpec) apply(cfg *sim.Config) {
 	}
 	if cs.DRAMPrefetchBacklog != 0 { // negative = disable
 		cfg.DRAMPrefetchBacklog = cs.DRAMPrefetchBacklog
+	}
+	if cs.UFTQInitialDepth > 0 {
+		cfg.UFTQ.InitialDepth = cs.UFTQInitialDepth
+	}
+	if cs.UFTQMinDepth > 0 {
+		cfg.UFTQ.MinDepth = cs.UFTQMinDepth
+	}
+	if cs.UFTQMaxDepth > 0 {
+		cfg.UFTQ.MaxDepth = cs.UFTQMaxDepth
+	}
+	if cs.UDPConfidence > 0 {
+		cfg.UDP.ConfidenceThreshold = cs.UDPConfidence
+	}
+	if cs.UDPSeniority > 0 {
+		cfg.UDP.SeniorityEntries = cs.UDPSeniority
 	}
 }
 

@@ -511,6 +511,17 @@ var (
 		"result-store reads satisfied by a ring peer")
 	PeerReadMisses = Metrics.Counter("udpsimd_peer_read_misses",
 		"result-store reads that missed on every reachable ring peer")
+	// Tune-driver counters: /v1/tune search runs, their candidate
+	// probes, how many probes the content-addressed result store
+	// answered without a new simulation, and incumbent improvements.
+	TuneRuns = Metrics.Counter("udpsimd_tune_runs",
+		"tune searches started (deduplicated resubmissions excluded)")
+	TuneProbes = Metrics.Counter("udpsimd_tune_probes",
+		"candidate evaluations made by tune search drivers")
+	TuneCacheProbeHits = Metrics.Counter("udpsimd_tune_cache_probe_hits",
+		"tune probes answered entirely from the result store with zero new simulations")
+	TuneIncumbentUpdates = Metrics.Counter("udpsimd_tune_incumbent_updates",
+		"tune incumbent improvements across all runs")
 )
 
 // SinceUS returns the elapsed time since start in whole microseconds —

@@ -5,6 +5,7 @@ import (
 
 	"udpsim/internal/experiments"
 	"udpsim/internal/sim"
+	"udpsim/internal/tune"
 )
 
 // Wire types shared by the HTTP server and the Go client. Everything a
@@ -51,7 +52,10 @@ type JobView struct {
 	TraceID string `json:"trace_id,omitempty"`
 	// Deduped is set on submission responses when the POST attached to
 	// an existing identical job instead of creating one.
-	Deduped  bool   `json:"deduped,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Seq is the admission sequence number — the stable order GET
+	// /v1/jobs lists and pages jobs in.
+	Seq      int64  `json:"seq,omitempty"`
 	Created  string `json:"created,omitempty"`
 	Started  string `json:"started,omitempty"`
 	Finished string `json:"finished,omitempty"`
@@ -59,6 +63,54 @@ type JobView struct {
 	// addresses are known at submission time (content addressing needs
 	// only the descriptor), so clients can poll results directly.
 	Cells []CellView `json:"cells,omitempty"`
+}
+
+// JobPage is the JSON body of GET /v1/jobs: one page of jobs in
+// admission (seq) order. NextAfter, when set, is the cursor for the
+// next page (`?after=<NextAfter>`); Total counts every job the daemon
+// knows regardless of paging.
+type JobPage struct {
+	Jobs      []JobView `json:"jobs"`
+	NextAfter string    `json:"next_after,omitempty"`
+	Total     int       `json:"total"`
+}
+
+// TuneBest is the incumbent of a tune run: its winning config and the
+// full-fidelity cells behind the objective score.
+type TuneBest struct {
+	Label string `json:"label"`
+	// Config is the human-readable dimension assignment
+	// ("mech=udp l2m=32").
+	Config string                 `json:"config"`
+	Spec   experiments.ConfigSpec `json:"spec"`
+	Score  float64                `json:"score"`
+	Cells  []CellView             `json:"cells,omitempty"`
+}
+
+// TuneView is the JSON representation of a tune run returned by POST
+// /v1/tune and GET /v1/tune/{id}, and carried in its lifecycle events.
+type TuneView struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name"`
+	State     JobState `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	Objective string   `json:"objective"`
+	Seed      int64    `json:"seed"`
+	// SpaceSize is the unique candidate count of the space (the
+	// full-grid simulation count per workload the search avoids).
+	SpaceSize uint64 `json:"space_size"`
+	// PlannedProbes is the sampling+halving budget the driver will
+	// spend exactly (refinement is bounded separately).
+	PlannedProbes int    `json:"planned_probes"`
+	TraceID       string `json:"trace_id,omitempty"`
+	Deduped       bool   `json:"deduped,omitempty"`
+	Submissions   int64  `json:"submissions"`
+	Created       string `json:"created,omitempty"`
+	Started       string `json:"started,omitempty"`
+	Finished      string `json:"finished,omitempty"`
+	// Stats is present once the run finished.
+	Stats *tune.Stats `json:"stats,omitempty"`
+	Best  *TuneBest   `json:"best,omitempty"`
 }
 
 // StoredResult is the JSON body of GET /v1/results/{key}.
@@ -99,6 +151,7 @@ func (j *Job) view(withCells bool) JobView {
 		Priority:    j.Priority,
 		Client:      j.Client,
 		TraceID:     j.TraceID,
+		Seq:         j.seq,
 		Submissions: j.submissions,
 		Created:     timeString(j.created),
 		Started:     timeString(j.started),

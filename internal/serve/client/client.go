@@ -249,11 +249,29 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 
 // Jobs lists every job the daemon knows, oldest first.
 func (c *Client) Jobs(ctx context.Context) ([]serve.JobView, error) {
-	var v struct {
-		Jobs []serve.JobView `json:"jobs"`
-	}
+	var v serve.JobPage
 	err := c.getJSON(ctx, "/v1/jobs", &v)
 	return v.Jobs, err
+}
+
+// JobsPage fetches one page of the job list in admission order: up to
+// limit jobs after the cursor (empty = from the start). The returned
+// cursor is non-empty while more pages remain — pass it back as after.
+func (c *Client) JobsPage(ctx context.Context, limit int, after string) ([]serve.JobView, string, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if after != "" {
+		q.Set("after", after)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var v serve.JobPage
+	err := c.getJSON(ctx, path, &v)
+	return v.Jobs, v.NextAfter, err
 }
 
 // Cancel requests job cancellation.
@@ -344,13 +362,28 @@ func (c *Client) WaitReady(ctx context.Context) error {
 // across reconnects. Receiving any event refills the retry budget —
 // only MaxAttempts consecutive dead connections surface the error.
 func (c *Client) Stream(ctx context.Context, id string, afterID int64, fn func(serve.Event) error) (*serve.JobView, error) {
+	data, err := c.streamEvents(ctx, "/v1/jobs/"+url.PathEscape(id)+"/events", afterID, fn)
+	if err != nil {
+		return nil, err
+	}
+	var v serve.JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("udpsimd: decoding terminal event: %w", err)
+	}
+	return &v, nil
+}
+
+// streamEvents is the reconnecting SSE loop shared by the job and
+// tune-run streams: it returns the raw data of the terminal event once
+// one arrives, resuming via Last-Event-ID across dropped connections.
+func (c *Client) streamEvents(ctx context.Context, path string, afterID int64, fn func(serve.Event) error) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	last := afterID
 	failures := 0
 	for {
-		v, lastSeen, err := c.streamOnce(ctx, id, last, fn)
+		v, lastSeen, err := c.streamOnce(ctx, path, last, fn)
 		if err == nil {
 			return v, nil
 		}
@@ -391,13 +424,13 @@ func retryableStream(err error) bool {
 	return errors.Is(err, ErrStreamEnded) || retryable(err)
 }
 
-// streamOnce runs a single SSE connection. lastSeen reports the
-// highest event ID dispatched to fn on this connection (afterID when
-// none were), so the caller can resume without replaying.
-func (c *Client) streamOnce(ctx context.Context, id string, afterID int64, fn func(serve.Event) error) (view *serve.JobView, lastSeen int64, err error) {
+// streamOnce runs a single SSE connection against path. lastSeen
+// reports the highest event ID dispatched to fn on this connection
+// (afterID when none were), so the caller can resume without
+// replaying; terminal carries the terminal event's raw JSON.
+func (c *Client) streamOnce(ctx context.Context, path string, afterID int64, fn func(serve.Event) error) (terminal []byte, lastSeen int64, err error) {
 	lastSeen = afterID
-	u := fmt.Sprintf("%s/v1/jobs/%s/events", c.base, url.PathEscape(id))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, lastSeen, err
 	}
@@ -426,7 +459,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, afterID int64, fn fu
 		haveAny bool
 	)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	dispatch := func() (*serve.JobView, bool, error) {
+	dispatch := func() ([]byte, bool, error) {
 		if !haveAny {
 			return nil, false, nil
 		}
@@ -441,11 +474,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, afterID int64, fn fu
 			lastSeen = ev.ID
 		}
 		if ev.IsTerminal() {
-			var v serve.JobView
-			if err := json.Unmarshal(ev.Data, &v); err != nil {
-				return nil, true, fmt.Errorf("udpsimd: decoding terminal event: %w", err)
-			}
-			return &v, true, nil
+			return ev.Data, true, nil
 		}
 		return nil, false, nil
 	}
@@ -484,4 +513,76 @@ func (c *Client) streamOnce(ctx context.Context, id string, afterID int64, fn fu
 // view — the simplest "submit then block" client loop.
 func (c *Client) Wait(ctx context.Context, id string) (*serve.JobView, error) {
 	return c.Stream(ctx, id, 0, nil)
+}
+
+// Tune POSTs a raw parameter-space JSON to /v1/tune and returns the
+// (possibly deduplicated) tune-run view. Runs are content-addressed on
+// the space, so retrying a lost response attaches to the run it
+// created.
+func (c *Client) Tune(ctx context.Context, spaceJSON []byte, opts SubmitOptions) (serve.TuneView, error) {
+	var v serve.TuneView
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/tune", bytes.NewReader(spaceJSON))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.Name != "" {
+			req.Header.Set("X-UDPSim-Client", c.Name)
+		}
+		if opts.TraceID != "" {
+			req.Header.Set("X-Trace-ID", opts.TraceID)
+		}
+		return c.do(req, &v)
+	})
+	return v, err
+}
+
+// TuneRun fetches a tune run's current view (stats and incumbent).
+func (c *Client) TuneRun(ctx context.Context, id string) (serve.TuneView, error) {
+	var v serve.TuneView
+	err := c.getJSON(ctx, "/v1/tune/"+url.PathEscape(id), &v)
+	return v, err
+}
+
+// TuneRuns lists every tune run the daemon knows, oldest first.
+func (c *Client) TuneRuns(ctx context.Context) ([]serve.TuneView, error) {
+	var v struct {
+		Runs []serve.TuneView `json:"runs"`
+	}
+	err := c.getJSON(ctx, "/v1/tune", &v)
+	return v.Runs, err
+}
+
+// TuneCancel requests cancellation of a tune run.
+func (c *Client) TuneCancel(ctx context.Context, id string) error {
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/tune/"+url.PathEscape(id), nil)
+		if err != nil {
+			return err
+		}
+		return c.do(req, nil)
+	})
+}
+
+// TuneStream subscribes to a tune run's SSE event stream from afterID
+// (0 = the beginning) and invokes fn per event — probes, generation
+// summaries, incumbent updates — until the terminal event arrives,
+// reconnecting with Last-Event-ID like Stream does for jobs.
+func (c *Client) TuneStream(ctx context.Context, id string, afterID int64, fn func(serve.Event) error) (*serve.TuneView, error) {
+	data, err := c.streamEvents(ctx, "/v1/tune/"+url.PathEscape(id)+"/events", afterID, fn)
+	if err != nil {
+		return nil, err
+	}
+	var v serve.TuneView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("udpsimd: decoding terminal tune event: %w", err)
+	}
+	return &v, nil
+}
+
+// WaitTune streams a tune run's events until terminal and returns the
+// final view.
+func (c *Client) WaitTune(ctx context.Context, id string) (*serve.TuneView, error) {
+	return c.TuneStream(ctx, id, 0, nil)
 }

@@ -1,0 +1,118 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"udpsim/internal/serve"
+	"udpsim/internal/serve/client"
+)
+
+// TestJobListPagination: GET /v1/jobs pages in stable admission order
+// — walking ?limit/?after covers every job exactly once and agrees
+// with the unpaged list, and bad cursors are structured 400s.
+func TestJobListPagination(t *testing.T) {
+	_, c, stop := newTestDaemon(t, "", serve.ServerConfig{Workers: 2})
+	defer stop()
+
+	const n = 5
+	ids := make([]string, n)
+	for i := range ids {
+		v, err := c.Submit(context.Background(),
+			descriptorJSON(fmt.Sprintf("page-%d", i), uint64(21_000+100*i)), client.SubmitOptions{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = v.ID
+	}
+
+	// Unpaged list: every job, in admission order, with seq populated.
+	all, err := c.Jobs(context.Background())
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(all) != n {
+		t.Fatalf("unpaged list has %d jobs, want %d", len(all), n)
+	}
+	for i, v := range all {
+		if v.ID != ids[i] {
+			t.Fatalf("list order differs from admission order at %d: %s vs %s", i, v.ID, ids[i])
+		}
+		if i > 0 && all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("seq not strictly increasing: %d after %d", all[i].Seq, all[i-1].Seq)
+		}
+	}
+
+	// Page through with limit 2 and collect.
+	var walked []string
+	after := ""
+	pages := 0
+	for {
+		page, next, err := c.JobsPage(context.Background(), 2, after)
+		if err != nil {
+			t.Fatalf("JobsPage(after=%q): %v", after, err)
+		}
+		for _, v := range page {
+			walked = append(walked, v.ID)
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		if len(page) != 2 {
+			t.Fatalf("non-final page has %d jobs, want 2", len(page))
+		}
+		after = next
+	}
+	if pages != 3 {
+		t.Fatalf("walk took %d pages, want 3", pages)
+	}
+	if len(walked) != n {
+		t.Fatalf("walk covered %d jobs, want %d", len(walked), n)
+	}
+	for i, id := range walked {
+		if id != ids[i] {
+			t.Fatalf("paged order differs from admission order at %d", i)
+		}
+	}
+
+	// The cursor page excludes the cursor itself and Total stays global.
+	var pg serve.JobPage
+	raw := getRaw(t, c.Base()+"/v1/jobs?after="+ids[2])
+	if err := json.Unmarshal(raw, &pg); err != nil {
+		t.Fatalf("decoding page: %v", err)
+	}
+	if pg.Total != n || len(pg.Jobs) != n-3 || pg.Jobs[0].ID != ids[3] {
+		t.Fatalf("after=%s page: total=%d jobs=%d first=%s", ids[2], pg.Total, len(pg.Jobs), pg.Jobs[0].ID)
+	}
+
+	// Bad limit and unknown cursor are 400s.
+	for _, q := range []string{"?limit=0", "?limit=-3", "?limit=banana", "?after=jnope"} {
+		resp, err := http.Get(c.Base() + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/jobs%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func getRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %v", url, resp.StatusCode, err)
+	}
+	return body
+}

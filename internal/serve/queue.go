@@ -41,6 +41,18 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
+// Queue priority levels (higher runs earlier). Any integer is a valid
+// priority — these are the conventional levels: interactive
+// submissions default to PriorityNormal, the tune driver submits
+// exploration probes at PriorityLow so they yield to interactive work,
+// and refinement probes at PriorityHigh so a nearly-converged search
+// finishes promptly.
+const (
+	PriorityLow    = -10
+	PriorityNormal = 0
+	PriorityHigh   = 10
+)
+
 // Job is one submitted experiment descriptor moving through the
 // scheduler. Jobs are content-addressed: the ID is derived from the
 // canonical (validated, defaults-applied) descriptor JSON, so two
@@ -58,6 +70,10 @@ type Job struct {
 	// deduplicated submissions keep the original job's trace. Immutable
 	// after creation.
 	TraceID string
+	// seq is the scheduler-assigned admission sequence number — the
+	// stable order GET /v1/jobs pages by. Deduplicated submissions keep
+	// the original job's seq. Immutable after creation.
+	seq int64
 
 	hub  *eventHub
 	done chan struct{}
@@ -102,6 +118,10 @@ func (j *Job) Submissions() int64 {
 	defer j.mu.Unlock()
 	return j.submissions
 }
+
+// Seq is the job's admission sequence number: strictly increasing in
+// submission order within one scheduler, never reused.
+func (j *Job) Seq() int64 { return j.seq }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -254,6 +274,7 @@ type Scheduler struct {
 	rr       int               // next rotation start index
 	queued   int               // jobs sitting in queues
 	running  map[string]*Job   // jobs currently executing
+	seq      int64             // admission sequence (stable job-list order)
 	draining bool
 
 	wg sync.WaitGroup // worker goroutines
@@ -326,6 +347,7 @@ func (s *Scheduler) SubmitTraced(d *experiments.Descriptor, client string, prior
 		obs.DaemonJobsRejected.Add(1)
 		return nil, false, ErrQueueFull
 	}
+	s.seq++
 	j := &Job{
 		ID:         id,
 		Name:       d.Name,
@@ -333,6 +355,7 @@ func (s *Scheduler) SubmitTraced(d *experiments.Descriptor, client string, prior
 		Priority:   priority,
 		Client:     client,
 		TraceID:    traceID,
+		seq:        s.seq,
 		hub:        newEventHub(),
 		done:       make(chan struct{}),
 		state:      JobQueued,

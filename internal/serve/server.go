@@ -81,6 +81,12 @@ type Server struct {
 	members   *placement.Membership
 	transport ResultTransport
 	runner    JobRunner
+
+	// Tune-run registry: content-addressed searches executing on their
+	// own goroutines (queue clients, not queue workers).
+	tuneMu sync.Mutex
+	tunes  map[string]*TuneRun
+	tuneWG sync.WaitGroup
 }
 
 // NewServer builds a server. Its store (or Transport override) rides
@@ -99,7 +105,8 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	s := &Server{cfg: cfg, log: cfg.Log, startedAt: time.Now(),
 		spans:   obs.NewSpanRecorder(spanRecorderCapacity),
-		members: cfg.Members, transport: cfg.Transport, runner: cfg.Runner}
+		members: cfg.Members, transport: cfg.Transport, runner: cfg.Runner,
+		tunes: map[string]*TuneRun{}}
 	scfg := SchedulerConfig{
 		Workers:    cfg.Workers,
 		MaxQueue:   cfg.MaxQueue,
@@ -288,9 +295,18 @@ func (s *Server) runJobGroup(ctx context.Context, group []*Job) ([][]experiments
 }
 
 // Drain stops admission, cancels queued jobs, lets running jobs finish
-// until ctx expires, and flips /readyz to 503 — the SIGTERM path.
+// until ctx expires, and flips /readyz to 503 — the SIGTERM path. Tune
+// runs are canceled first so their driver goroutines stop submitting
+// into the draining queue.
 func (s *Server) Drain(ctx context.Context) error {
 	s.ready.Store(false)
+	s.cancelTunes()
+	tunesDone := make(chan struct{})
+	go func() { s.tuneWG.Wait(); close(tunesDone) }()
+	select {
+	case <-tunesDone:
+	case <-ctx.Done():
+	}
 	return s.sched.Drain(ctx)
 }
 
@@ -300,10 +316,15 @@ const maxDescriptorBytes = 1 << 20
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /v1/jobs              submit an experiment descriptor
-//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs              list jobs (paged: ?limit= and ?after=)
 //	GET    /v1/jobs/{id}         job status (cells + result keys)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/jobs/{id}/events  SSE stream (progress, samples, terminal)
+//	POST   /v1/tune              submit a parameter-space search
+//	GET    /v1/tune              list tune runs
+//	GET    /v1/tune/{id}         tune-run status (stats + incumbent)
+//	DELETE /v1/tune/{id}         cancel a tune run
+//	GET    /v1/tune/{id}/events  SSE stream (probes, generations, incumbents)
 //	GET    /v1/results/{key}     content-addressed result record (cluster
 //	                             nodes answer for any key via peer read-through)
 //	GET    /v1/mechanisms        registered mechanism registry
@@ -325,6 +346,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/{id}/events", s.handleEvents))
+	mux.HandleFunc("POST /v1/tune", s.instrument("/v1/tune", s.handleTuneSubmit))
+	mux.HandleFunc("GET /v1/tune", s.instrument("/v1/tune", s.handleTuneList))
+	mux.HandleFunc("GET /v1/tune/{id}", s.instrument("/v1/tune/{id}", s.handleTune))
+	mux.HandleFunc("DELETE /v1/tune/{id}", s.instrument("/v1/tune/{id}", s.handleTuneCancel))
+	mux.HandleFunc("GET /v1/tune/{id}/events", s.instrument("/v1/tune/{id}/events", s.handleTuneEvents))
 	mux.HandleFunc("GET /v1/results/{key}", s.instrument("/v1/results/{key}", s.handleResult))
 	mux.HandleFunc("PUT /v1/results/{key}", s.instrument("/v1/results/{key}", s.handleResultPut))
 	mux.HandleFunc("GET /v1/ring", s.instrument("/v1/ring", s.handleRing))
@@ -419,14 +445,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, v)
 }
 
+// handleJobList pages the job registry in admission (seq) order —
+// stable across requests, so `?after=<last id>` cursors never skip or
+// duplicate entries as new jobs arrive. Without ?limit the whole list
+// comes back in one page (the pre-paging behavior udpstat relies on).
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q: want a positive integer", v))
+			return
+		}
+		limit = n
+	}
 	jobs := s.sched.JobList()
 	views := make([]JobView, 0, len(jobs))
 	for _, j := range jobs {
 		views = append(views, j.view(false))
 	}
-	sort.Slice(views, func(i, k int) bool { return views[i].Created < views[k].Created })
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	sort.Slice(views, func(i, k int) bool { return views[i].Seq < views[k].Seq })
+	page := JobPage{Total: len(views)}
+	if after := r.URL.Query().Get("after"); after != "" {
+		idx := -1
+		for i, v := range views {
+			if v.ID == after {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: unknown after cursor %q", after))
+			return
+		}
+		views = views[idx+1:]
+	}
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
+		page.NextAfter = views[len(views)-1].ID
+	}
+	page.Jobs = views
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
@@ -461,6 +520,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.streamHub(w, r, j.Events())
+}
+
+// streamHub serves one eventHub over SSE: cursor resolution
+// (Last-Event-ID header or ?after=), replay, live tail with pings, and
+// the history-tail re-read that guarantees the terminal event is
+// delivered even when a subscriber buffer overflowed. Shared by job and
+// tune-run event streams.
+func (s *Server) streamHub(w http.ResponseWriter, r *http.Request, hub *eventHub) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeErr(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
@@ -483,7 +551,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		afterID = max(id, 0)
 	}
-	replay, ch, cancel := j.Events().subscribe(afterID)
+	replay, ch, cancel := hub.subscribe(afterID)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -517,7 +585,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				// Terminal published (possibly while our buffer was
 				// full): replay the tail we missed, which is
 				// guaranteed to contain the terminal event.
-				for _, ev := range j.Events().history(last) {
+				for _, ev := range hub.history(last) {
 					if !writeEv(ev) {
 						return
 					}

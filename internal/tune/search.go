@@ -1,0 +1,416 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"udpsim/internal/experiments"
+)
+
+// ProbeClass tells the prober why a probe is being made, so a
+// queue-backed prober can schedule exploration below interactive work
+// and refinement above it.
+type ProbeClass string
+
+const (
+	ProbeExplore ProbeClass = "explore" // sampling + halving rungs
+	ProbeRefine  ProbeClass = "refine"  // local refinement around the incumbent
+)
+
+// Outcome is one candidate's evaluation: its per-workload cells and
+// whether the whole probe was served without a new simulation (every
+// cell answered by the result store / cache).
+type Outcome struct {
+	Results []experiments.DescriptorResult
+	Cached  bool
+}
+
+// Prober evaluates candidate specs at one fidelity. outcomes[i]
+// corresponds to specs[i], each holding one cell per space workload.
+// The driver never re-asks for a (vector, rung) pair it has already
+// seen, so a prober may assume every call costs real work unless its
+// own store says otherwise.
+type Prober interface {
+	Probe(ctx context.Context, specs []experiments.ConfigSpec, fid Fidelity, class ProbeClass) ([]Outcome, error)
+}
+
+// ProberFunc adapts a function to Prober.
+type ProberFunc func(ctx context.Context, specs []experiments.ConfigSpec, fid Fidelity, class ProbeClass) ([]Outcome, error)
+
+// Probe implements Prober.
+func (f ProberFunc) Probe(ctx context.Context, specs []experiments.ConfigSpec, fid Fidelity, class ProbeClass) ([]Outcome, error) {
+	return f(ctx, specs, fid, class)
+}
+
+// Event is one frontier update of a running search, published in
+// order. Types:
+//
+//	"probe"      one candidate scored (label, rung, score)
+//	"generation" one rung (or refinement pass) completed
+//	"incumbent"  the best full-fidelity candidate improved
+//	"eliminated" candidates cut by successive halving
+type Event struct {
+	Type       string   `json:"type"`
+	Phase      string   `json:"phase,omitempty"` // "halving" | "refine"
+	Rung       int      `json:"rung"`
+	Label      string   `json:"label,omitempty"`
+	Config     string   `json:"config,omitempty"` // human-readable vector ("mech=udp l2m=32")
+	Score      float64  `json:"score,omitempty"`
+	Evaluated  int      `json:"evaluated,omitempty"`
+	Survivors  int      `json:"survivors,omitempty"`
+	Eliminated []string `json:"eliminated,omitempty"`
+	BestLabel  string   `json:"best_label,omitempty"`
+	BestScore  float64  `json:"best_score"`
+	Probes     int      `json:"probes"`
+	CacheHits  int      `json:"cache_hits"`
+}
+
+// Stats counts what a finished search did.
+type Stats struct {
+	// Probes is every candidate evaluation the driver asked the prober
+	// for (the within-run memo means each (vector, rung) counts once).
+	Probes int `json:"probes"`
+	// CacheHits is how many of those the prober answered without a new
+	// simulation.
+	CacheHits int `json:"cache_hits"`
+	// HalvingProbes is the sampling + halving share of Probes; it
+	// always equals the sum of the halving plan exactly.
+	HalvingProbes int `json:"halving_probes"`
+	// RefineProbes is the refinement share of Probes (<= Search.Refine).
+	RefineProbes int `json:"refine_probes"`
+	// BaselineProbes counts paired-baseline evaluations (speedup
+	// objective only; excluded from the budgets above).
+	BaselineProbes int `json:"baseline_probes,omitempty"`
+	// IncumbentUpdates counts strict full-fidelity improvements.
+	IncumbentUpdates int `json:"incumbent_updates"`
+	// Eliminated counts candidates cut by halving (never probed again).
+	Eliminated int `json:"eliminated"`
+	// Generations counts rungs plus refinement passes.
+	Generations int `json:"generations"`
+}
+
+// Best is the winning candidate of a search.
+type Best struct {
+	Label  string                 `json:"label"`
+	Config string                 `json:"config"` // human-readable vector
+	Vector Vector                 `json:"vector"`
+	Spec   experiments.ConfigSpec `json:"spec"`
+	Score  float64                `json:"score"`
+	// Results holds the full-fidelity cells behind the score.
+	Results []experiments.DescriptorResult `json:"-"`
+}
+
+// Result is a finished search.
+type Result struct {
+	RunID string `json:"run_id"`
+	Best  Best   `json:"best"`
+	Stats Stats  `json:"stats"`
+	// PlannedProbes is the halving plan's exact probe total (sampling
+	// included, refinement and baselines excluded).
+	PlannedProbes int `json:"planned_probes"`
+}
+
+// HalvingPlan returns per-rung population sizes: samples (clamped to
+// the space size) at rung 0, then 1/eta per rung, never below 1. The
+// driver executes exactly sum(plan) sampling+halving probes.
+func (sp *Space) HalvingPlan() []int {
+	n := sp.Search.Samples
+	if sz := sp.SpaceSize(); uint64(n) > sz {
+		n = int(sz)
+	}
+	plan := make([]int, sp.Search.Rungs)
+	for r := range plan {
+		plan[r] = n
+		if next := n / sp.Search.Eta; next >= 1 {
+			n = next
+		} else {
+			n = 1
+		}
+	}
+	return plan
+}
+
+// PlannedProbes is the halving plan's probe total.
+func (sp *Space) PlannedProbes() int {
+	total := 0
+	for _, n := range sp.HalvingPlan() {
+		total += n
+	}
+	return total
+}
+
+// Driver runs one search over a validated space. Deterministic: the
+// same space (seed included) against a deterministic prober makes the
+// same probes in the same order and returns the same Result.
+type Driver struct {
+	space  *Space
+	prober Prober
+	// OnEvent, when set, receives every frontier update in order,
+	// synchronously from Run's goroutine.
+	OnEvent func(Event)
+
+	rng        *rand.Rand
+	memo       map[string]scored // Key(v) + "@" + rung → evaluation
+	eliminated map[string]bool   // Key(v) → cut by halving
+	baseline   map[int][]experiments.DescriptorResult
+	stats      Stats
+}
+
+type scored struct {
+	vec   Vector
+	score float64
+	out   Outcome
+}
+
+// New builds a driver over a validated space.
+func New(space *Space, p Prober) *Driver {
+	return &Driver{space: space, prober: p}
+}
+
+// emit publishes one event with the running totals stamped on.
+func (dr *Driver) emit(ev Event, bestLabel string, bestScore float64) {
+	if dr.OnEvent == nil {
+		return
+	}
+	ev.BestLabel, ev.BestScore = bestLabel, bestScore
+	ev.Probes, ev.CacheHits = dr.stats.Probes, dr.stats.CacheHits
+	dr.OnEvent(ev)
+}
+
+// Run executes the search: seeded random sampling, successive halving
+// across the fidelity rungs, then greedy local refinement around the
+// incumbent at full fidelity.
+func (dr *Driver) Run(ctx context.Context) (*Result, error) {
+	sp := dr.space
+	dr.rng = rand.New(rand.NewSource(sp.Seed))
+	dr.memo = map[string]scored{}
+	dr.eliminated = map[string]bool{}
+	dr.baseline = map[int][]experiments.DescriptorResult{}
+	dr.stats = Stats{}
+
+	plan := sp.HalvingPlan()
+	cands := dr.sample(plan[0])
+	var ranked []scored
+	for r := 0; r < sp.Search.Rungs; r++ {
+		if r > 0 {
+			keep := plan[r]
+			cut := ranked[keep:]
+			labels := make([]string, len(cut))
+			for i, c := range cut {
+				dr.eliminated[sp.Key(c.vec)] = true
+				labels[i] = sp.Label(c.vec)
+			}
+			dr.stats.Eliminated += len(cut)
+			dr.emit(Event{Type: "eliminated", Phase: "halving", Rung: r - 1, Eliminated: labels},
+				sp.Label(ranked[0].vec), ranked[0].score)
+			cands = cands[:0]
+			for _, c := range ranked[:keep] {
+				cands = append(cands, c.vec)
+			}
+		}
+		fid := sp.FidelityAt(r)
+		var err error
+		ranked, err = dr.evaluate(ctx, cands, fid, ProbeExplore, &dr.stats.HalvingProbes)
+		if err != nil {
+			return nil, err
+		}
+		dr.stats.Generations++
+		survivors := len(ranked)
+		if r+1 < len(plan) {
+			survivors = plan[r+1]
+		}
+		dr.emit(Event{Type: "generation", Phase: "halving", Rung: r,
+			Evaluated: len(ranked), Survivors: survivors},
+			sp.Label(ranked[0].vec), ranked[0].score)
+	}
+
+	incumbent := ranked[0]
+	dr.stats.IncumbentUpdates++
+	full := sp.FullFidelity()
+	dr.emit(Event{Type: "incumbent", Rung: full.Rung, Label: sp.Label(incumbent.vec),
+		Config: sp.Describe(incumbent.vec), Score: incumbent.score},
+		sp.Label(incumbent.vec), incumbent.score)
+
+	// Local refinement: greedy coordinate descent around the incumbent
+	// at full fidelity. Never probes an eliminated candidate (halving's
+	// verdict is final) and never re-probes a known (vector, rung) —
+	// memo hits cost no budget.
+	budget := sp.Search.Refine
+	for improved := true; improved && budget > 0; {
+		improved = false
+		passEvals := 0
+		for dim := 0; dim < len(sp.Dims) && budget > 0; dim++ {
+			for _, delta := range [2]int{-1, 1} {
+				if budget <= 0 {
+					break
+				}
+				idx := incumbent.vec[dim] + delta
+				if idx < 0 || idx >= sp.Dims[dim].Count() {
+					continue
+				}
+				nb := append(Vector(nil), incumbent.vec...)
+				nb[dim] = idx
+				if dr.eliminated[sp.Key(nb)] {
+					continue
+				}
+				_, known := dr.memo[sp.Key(nb)+"@"+itoa(full.Rung)]
+				if !known {
+					budget--
+				}
+				evald, err := dr.evaluate(ctx, []Vector{nb}, full, ProbeRefine, &dr.stats.RefineProbes)
+				if err != nil {
+					return nil, err
+				}
+				if !known {
+					passEvals++
+				}
+				if c := evald[0]; c.score > incumbent.score {
+					incumbent = c
+					improved = true
+					dr.stats.IncumbentUpdates++
+					dr.emit(Event{Type: "incumbent", Phase: "refine", Rung: full.Rung,
+						Label: sp.Label(c.vec), Config: sp.Describe(c.vec), Score: c.score},
+						sp.Label(c.vec), c.score)
+				}
+			}
+		}
+		dr.stats.Generations++
+		dr.emit(Event{Type: "generation", Phase: "refine", Rung: full.Rung, Evaluated: passEvals},
+			sp.Label(incumbent.vec), incumbent.score)
+	}
+
+	return &Result{
+		RunID: RunID(sp),
+		Best: Best{
+			Label:   sp.Label(incumbent.vec),
+			Config:  sp.Describe(incumbent.vec),
+			Vector:  incumbent.vec,
+			Spec:    sp.Spec(incumbent.vec),
+			Score:   incumbent.score,
+			Results: incumbent.out.Results,
+		},
+		Stats:         dr.stats,
+		PlannedProbes: sp.PlannedProbes(),
+	}, nil
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// sample draws n distinct vectors from the seeded generator; when the
+// space is no larger than n it enumerates instead (the "grid is small,
+// just look at it" degenerate case).
+func (dr *Driver) sample(n int) []Vector {
+	sp := dr.space
+	if sp.SpaceSize() <= uint64(n) {
+		return sp.Enumerate()
+	}
+	seen := map[string]bool{}
+	out := make([]Vector, 0, n)
+	for attempts := 0; len(out) < n && attempts < 1000*n; attempts++ {
+		v := make(Vector, len(sp.Dims))
+		for i := range v {
+			v[i] = dr.rng.Intn(sp.Dims[i].Count())
+		}
+		if k := sp.Key(v); !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	// Rejection sampling above terminates in practice (the space is
+	// strictly larger than n); sweep the grid for the shortfall so the
+	// plan's population is exact even in adversarial spaces.
+	for _, v := range sp.Enumerate() {
+		if len(out) >= n {
+			break
+		}
+		if k := sp.Key(v); !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// evaluate scores vectors at one fidelity, probing only the (vector,
+// rung) pairs not in the memo, and returns every input ranked best
+// first (ties broken by vector key for determinism). counter receives
+// the number of fresh probes.
+func (dr *Driver) evaluate(ctx context.Context, vecs []Vector, fid Fidelity, class ProbeClass, counter *int) ([]scored, error) {
+	sp := dr.space
+	memoKey := func(v Vector) string { return sp.Key(v) + "@" + itoa(fid.Rung) }
+
+	var fresh []Vector
+	var specs []experiments.ConfigSpec
+	for _, v := range vecs {
+		if _, ok := dr.memo[memoKey(v)]; !ok {
+			fresh = append(fresh, v)
+			specs = append(specs, sp.Spec(v))
+		}
+	}
+	if len(fresh) > 0 {
+		base, err := dr.baselineAt(ctx, fid, class)
+		if err != nil {
+			return nil, err
+		}
+		outs, err := dr.prober.Probe(ctx, specs, fid, class)
+		if err != nil {
+			return nil, fmt.Errorf("tune: probe at rung %d: %w", fid.Rung, err)
+		}
+		if len(outs) != len(specs) {
+			return nil, fmt.Errorf("tune: prober returned %d outcomes for %d specs", len(outs), len(specs))
+		}
+		dr.stats.Probes += len(specs)
+		*counter += len(specs)
+		for i, v := range fresh {
+			if outs[i].Cached {
+				dr.stats.CacheHits++
+			}
+			score, err := sp.Score(outs[i].Results, base)
+			if err != nil {
+				return nil, err
+			}
+			dr.memo[memoKey(v)] = scored{vec: v, score: score, out: outs[i]}
+			dr.emit(Event{Type: "probe", Phase: string(class), Rung: fid.Rung,
+				Label: sp.Label(v), Config: sp.Describe(v), Score: score}, "", 0)
+		}
+	}
+	ranked := make([]scored, len(vecs))
+	for i, v := range vecs {
+		ranked[i] = dr.memo[memoKey(v)]
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return sp.Key(ranked[i].vec) < sp.Key(ranked[j].vec)
+	})
+	return ranked, nil
+}
+
+// baselineAt returns the paired-baseline cells for a fidelity (speedup
+// objective only), probing them once per rung.
+func (dr *Driver) baselineAt(ctx context.Context, fid Fidelity, class ProbeClass) ([]experiments.DescriptorResult, error) {
+	sp := dr.space
+	if sp.Objective != ObjectiveSpeedup {
+		return nil, nil
+	}
+	if base, ok := dr.baseline[fid.Rung]; ok {
+		return base, nil
+	}
+	outs, err := dr.prober.Probe(ctx, []experiments.ConfigSpec{*sp.Baseline}, fid, class)
+	if err != nil {
+		return nil, fmt.Errorf("tune: baseline probe at rung %d: %w", fid.Rung, err)
+	}
+	if len(outs) != 1 {
+		return nil, fmt.Errorf("tune: prober returned %d outcomes for the baseline", len(outs))
+	}
+	dr.stats.Probes++
+	dr.stats.BaselineProbes++
+	if outs[0].Cached {
+		dr.stats.CacheHits++
+	}
+	dr.baseline[fid.Rung] = outs[0].Results
+	return outs[0].Results, nil
+}

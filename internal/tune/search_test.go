@@ -1,0 +1,198 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/sim"
+)
+
+// fakeProber scores candidates with a deterministic closed-form IPC so
+// the search's behavior is fully predictable: bigger L2 MSHR budgets
+// and the udp mechanism help, oversized FTQs hurt slightly.
+type fakeProber struct {
+	mu     sync.Mutex
+	calls  int
+	probes []string // "label@rung/class" in probe order
+}
+
+func fakeScore(cs experiments.ConfigSpec) float64 {
+	s := 1.0
+	if cs.Mechanism == "udp" {
+		s += 0.5
+	}
+	s += 0.01 * float64(cs.L2MSHRs)
+	s -= 0.001 * float64(cs.FTQ)
+	return s
+}
+
+func (p *fakeProber) Probe(ctx context.Context, specs []experiments.ConfigSpec, fid Fidelity, class ProbeClass) ([]Outcome, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	outs := make([]Outcome, len(specs))
+	for i, cs := range specs {
+		p.probes = append(p.probes, fmt.Sprintf("%s@%d/%s", cs.Label, fid.Rung, class))
+		outs[i] = Outcome{Results: []experiments.DescriptorResult{{
+			Workload: "mysql", Label: cs.Label,
+			Result: sim.Result{IPC: fakeScore(cs), Instructions: fid.Instructions},
+		}}}
+	}
+	return outs, nil
+}
+
+func runFake(t *testing.T, src string) (*Result, []Event, *fakeProber) {
+	t.Helper()
+	sp := mustSpace(t, src)
+	p := &fakeProber{}
+	dr := New(sp, p)
+	var events []Event
+	dr.OnEvent = func(ev Event) { events = append(events, ev) }
+	res, err := dr.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, events, p
+}
+
+// TestHalvingConservesProbeBudget pins the exact-budget property: the
+// sampling+halving stage spends sum(HalvingPlan) probes, no more, no
+// less, and never re-probes a (candidate, rung) pair.
+func TestHalvingConservesProbeBudget(t *testing.T) {
+	res, _, p := runFake(t, testSpaceJSON)
+	sp := mustSpace(t, testSpaceJSON)
+	want := 0
+	for _, n := range sp.HalvingPlan() {
+		want += n
+	}
+	if res.Stats.HalvingProbes != want {
+		t.Fatalf("HalvingProbes = %d, want exactly %d (plan %v)",
+			res.Stats.HalvingProbes, want, sp.HalvingPlan())
+	}
+	if res.PlannedProbes != want {
+		t.Fatalf("PlannedProbes = %d, want %d", res.PlannedProbes, want)
+	}
+	if res.Stats.RefineProbes > sp.Search.Refine {
+		t.Fatalf("RefineProbes = %d exceeds the refine budget %d",
+			res.Stats.RefineProbes, sp.Search.Refine)
+	}
+	if got := res.Stats.HalvingProbes + res.Stats.RefineProbes + res.Stats.BaselineProbes; got != res.Stats.Probes {
+		t.Fatalf("probe accounting off: %d+%d+%d != %d", res.Stats.HalvingProbes,
+			res.Stats.RefineProbes, res.Stats.BaselineProbes, res.Stats.Probes)
+	}
+	seen := map[string]bool{}
+	for _, pr := range p.probes {
+		key := pr[:strings.LastIndex(pr, "/")]
+		if seen[key] {
+			t.Fatalf("probe %s repeated — the (vector, rung) memo leaked", pr)
+		}
+		seen[key] = true
+	}
+	if len(p.probes) != res.Stats.Probes {
+		t.Fatalf("prober saw %d probes, stats say %d", len(p.probes), res.Stats.Probes)
+	}
+}
+
+// TestNeverResurrectsEliminated: once halving cuts a candidate, no
+// later probe (halving or refinement) may touch it.
+func TestNeverResurrectsEliminated(t *testing.T) {
+	// Refine aggressively so the coordinate descent walks right up to
+	// the eliminated region.
+	src := strings.Replace(testSpaceJSON, `"refine": 8`, `"refine": 64`, 1)
+	res, events, p := runFake(t, src)
+	dead := map[string]bool{}
+	probeIdx := 0
+	for _, ev := range events {
+		switch ev.Type {
+		case "probe":
+			if dead[ev.Label] {
+				t.Fatalf("probe of eliminated candidate %s", ev.Label)
+			}
+			// Events and prober calls must agree on order.
+			if probeIdx < len(p.probes) && !strings.HasPrefix(p.probes[probeIdx], ev.Label+"@") {
+				t.Fatalf("probe event %q out of order with prober call %q", ev.Label, p.probes[probeIdx])
+			}
+			probeIdx++
+		case "eliminated":
+			for _, l := range ev.Eliminated {
+				dead[l] = true
+			}
+		}
+	}
+	if len(dead) == 0 {
+		t.Fatalf("halving eliminated nobody — test space too small")
+	}
+	if res.Stats.Eliminated != len(dead) {
+		t.Fatalf("Stats.Eliminated = %d, events named %d", res.Stats.Eliminated, len(dead))
+	}
+	if dead[res.Best.Label] {
+		t.Fatalf("incumbent %s was eliminated", res.Best.Label)
+	}
+}
+
+// TestDeterministicForSeed: identical space (seed included) =>
+// identical probes, events, and result. A different seed must change
+// the sampled population (observable through the probe order).
+func TestDeterministicForSeed(t *testing.T) {
+	// Widen the space so sampling actually samples (spaceSize > samples).
+	src := strings.Replace(testSpaceJSON, `"values": [4, 8, 16, 32]`,
+		`"values": [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]`, 1)
+	res1, ev1, p1 := runFake(t, src)
+	res2, ev2, p2 := runFake(t, src)
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", res1, res2)
+	}
+	j1, _ := json.Marshal(ev1)
+	j2, _ := json.Marshal(ev2)
+	if string(j1) != string(j2) {
+		t.Fatalf("same seed produced different event streams")
+	}
+	if !reflect.DeepEqual(p1.probes, p2.probes) {
+		t.Fatalf("same seed produced different probe sequences")
+	}
+	_, _, p3 := runFake(t, strings.Replace(src, `"seed": 3`, `"seed": 11`, 1))
+	if reflect.DeepEqual(p1.probes, p3.probes) {
+		t.Fatalf("different seeds sampled the identical probe sequence")
+	}
+}
+
+// TestSearchFindsOptimum: the closed-form objective is separable and
+// monotone per coordinate, so given enough refinement budget the
+// coordinate descent must land exactly on the best grid corner from
+// any sampled start.
+func TestSearchFindsOptimum(t *testing.T) {
+	src := strings.Replace(testSpaceJSON, `"refine": 8`, `"refine": 64`, 1)
+	res, _, _ := runFake(t, src)
+	sp := mustSpace(t, src)
+	best := 0.0
+	for _, v := range sp.Enumerate() {
+		if s := fakeScore(sp.Spec(v)); s > best {
+			best = s
+		}
+	}
+	if res.Best.Score < best {
+		t.Fatalf("search best %.4f < grid best %.4f (config %s)", res.Best.Score, best, res.Best.Config)
+	}
+}
+
+func BenchmarkTuneDriver(b *testing.B) {
+	sp := mustSpace(b, testSpaceJSON)
+	p := &fakeProber{}
+	b.ReportAllocs()
+	probes := 0
+	for b.Loop() {
+		dr := New(sp, p)
+		res, err := dr.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += res.Stats.Probes
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
+}

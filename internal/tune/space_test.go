@@ -1,0 +1,230 @@
+package tune
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"udpsim/internal/experiments"
+	"udpsim/internal/sim"
+)
+
+// testSpaceJSON is a small valid space used across the tests.
+const testSpaceJSON = `{
+  "name": "t",
+  "workloads": ["mysql"],
+  "seed": 3,
+  "instructions": 40000,
+  "search": {"samples": 6, "eta": 2, "rungs": 2, "refine": 8},
+  "dimensions": [
+    {"name": "mech", "field": "mechanism", "choices": ["baseline", "udp"]},
+    {"name": "l2m", "field": "l2_mshrs", "values": [4, 8, 16, 32]},
+    {"name": "ftq", "field": "ftq", "min": 8, "max": 32, "log2": true}
+  ]
+}`
+
+func mustSpace(t testing.TB, src string) *Space {
+	t.Helper()
+	sp, err := ParseSpace(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseSpace: %v", err)
+	}
+	return sp
+}
+
+func TestSpaceDefaultsAndSize(t *testing.T) {
+	sp := mustSpace(t, testSpaceJSON)
+	if sp.Objective != ObjectiveIPC || sp.Mechanism != "udp" || sp.Simpoints != 1 {
+		t.Fatalf("defaults not applied: %+v", sp)
+	}
+	if got := sp.SpaceSize(); got != 2*4*3 {
+		t.Fatalf("SpaceSize = %d, want 24", got)
+	}
+	if got := len(sp.Enumerate()); got != 24 {
+		t.Fatalf("Enumerate returned %d vectors, want 24", got)
+	}
+}
+
+// TestSpaceValidationErrors drives the validator through every
+// malformed shape the fuzzer also explores and checks each lands as a
+// structured field error, never a panic.
+func TestSpaceValidationErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantField string
+	}{
+		{"no name", `{"workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "name"},
+		{"no workloads", `{"name":"t","dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "workloads"},
+		{"unknown workload", `{"name":"t","workloads":["nope"],"dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "workloads[0]"},
+		{"trace workload", `{"name":"t","workloads":["trace:abc"],"dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "workloads[0]"},
+		{"bad objective", `{"name":"t","workloads":["mysql"],"objective":"wat","dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "objective"},
+		{"stray baseline", `{"name":"t","workloads":["mysql"],"baseline":{"label":"b","mechanism":"baseline"},"dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "baseline"},
+		{"no dimensions", `{"name":"t","workloads":["mysql"]}`, "dimensions"},
+		{"dup dim name", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[8]},{"name":"a","field":"btb","values":[8]}]}`, "dimensions[1].name"},
+		{"dup dim field", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[8]},{"name":"b","field":"ftq","values":[16]}]}`, "dimensions[1].field"},
+		{"unknown field", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"wat","values":[8]}]}`, "dimensions[0].field"},
+		{"empty choices", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"mechanism"}]}`, "dimensions[0].choices"},
+		{"choices on int field", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","choices":["udp"]}]}`, "dimensions[0].choices"},
+		{"dup choice", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"mechanism","choices":["udp","udp"]}]}`, "dimensions[0].choices"},
+		{"unknown mechanism choice", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"mechanism","choices":["wat"]}]}`, "dimensions[0].choices[0]"},
+		{"values not increasing", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[8,8]}]}`, "dimensions[0].values[1]"},
+		{"negative value", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[-4]}]}`, "dimensions[0].values[0]"},
+		{"values plus range", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[8],"max":16}]}`, "dimensions[0].values"},
+		{"fractional max", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":1,"max":2.5}]}`, "dimensions[0].max"},
+		{"huge min", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":1e18,"max":2e18}]}`, "dimensions[0].min"},
+		{"min over max", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":16,"max":8}]}`, "dimensions[0].min"},
+		{"zero range", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":0,"max":0}]}`, "dimensions[0].min"},
+		{"step with log2", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":1,"max":8,"step":2,"log2":true}]}`, "dimensions[0].step"},
+		{"negative step", `{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":1,"max":8,"step":-1}]}`, "dimensions[0].step"},
+		{"bad eta", `{"name":"t","workloads":["mysql"],"search":{"eta":1},"dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "search.eta"},
+		{"bad rungs", `{"name":"t","workloads":["mysql"],"search":{"rungs":9},"dimensions":[{"name":"a","field":"ftq","values":[8]}]}`, "search.rungs"},
+		{"huge space", `{"name":"t","workloads":["mysql"],"dimensions":[
+			{"name":"a","field":"ftq","min":1,"max":2048},
+			{"name":"b","field":"btb","min":1,"max":2048}]}`, "dimensions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpace(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("want validation error, got nil")
+			}
+			ve := experiments.AsValidationError(err)
+			if ve == nil {
+				t.Fatalf("want *ValidationError, got %T: %v", err, err)
+			}
+			for _, f := range ve.Fields {
+				if f.Field == tc.wantField {
+					return
+				}
+			}
+			t.Fatalf("no field error on %q; got %v", tc.wantField, ve.Fields)
+		})
+	}
+}
+
+// TestNaNBoundsRejected drives Validate directly with non-finite
+// bounds (encoding/json already refuses them on the wire, but the
+// validator must hold for programmatic construction too).
+func TestNaNBoundsRejected(t *testing.T) {
+	for name, bound := range map[string]float64{
+		"nan": math.NaN(), "+inf": math.Inf(1), "-inf": math.Inf(-1),
+	} {
+		sp := &Space{Name: "t", Workloads: []string{"mysql"},
+			Dims: []Dimension{{Name: "a", Field: "ftq", Min: bound, Max: 8}}}
+		err := sp.Validate()
+		ve := experiments.AsValidationError(err)
+		if ve == nil {
+			t.Fatalf("%s min: want *ValidationError, got %v", name, err)
+		}
+		found := false
+		for _, fe := range ve.Fields {
+			found = found || fe.Field == "dimensions[0].min"
+		}
+		if !found {
+			t.Fatalf("%s min: no field error on dimensions[0].min; got %v", name, ve.Fields)
+		}
+	}
+}
+
+// TestRunIDDedup pins the content addressing: logically identical
+// spaces (modulo defaults) share a RunID, any knob change moves it.
+func TestRunIDDedup(t *testing.T) {
+	a := mustSpace(t, testSpaceJSON)
+	b := mustSpace(t, testSpaceJSON)
+	if RunID(a) != RunID(b) {
+		t.Fatalf("identical spaces got different run IDs")
+	}
+	explicit := mustSpace(t, strings.Replace(testSpaceJSON, `"name": "t",`, `"name": "t", "objective": "ipc",`, 1))
+	if RunID(a) != RunID(explicit) {
+		t.Fatalf("defaulted and explicit objective must share a run ID")
+	}
+	seeded := mustSpace(t, strings.Replace(testSpaceJSON, `"seed": 3`, `"seed": 4`, 1))
+	if RunID(a) == RunID(seeded) {
+		t.Fatalf("different seeds must not share a run ID")
+	}
+	if !strings.HasPrefix(RunID(a), "t") || len(RunID(a)) != 33 {
+		t.Fatalf("malformed run ID %q", RunID(a))
+	}
+}
+
+// TestTuneFieldsRoundTripConfigKey is the acquisition-cache
+// load-bearing property: every searchable field must move
+// sim.ConfigKey, or two different candidates would collide on one
+// store cell.
+func TestTuneFieldsRoundTripConfigKey(t *testing.T) {
+	d := &experiments.Descriptor{Instructions: 1000}
+	base := experiments.ConfigSpec{Label: "x", Mechanism: "udp"}
+	baseKey := sim.ConfigKey(experiments.CellConfig(d, "mysql", base))
+	for field, set := range map[string]func(*experiments.ConfigSpec, int){
+		"uftq_initial_depth": intFields["uftq_initial_depth"],
+		"uftq_min_depth":     intFields["uftq_min_depth"],
+		"uftq_max_depth":     intFields["uftq_max_depth"],
+		"udp_confidence":     intFields["udp_confidence"],
+		"udp_seniority":      intFields["udp_seniority"],
+		"l2_mshrs":           intFields["l2_mshrs"],
+		"ftq":                intFields["ftq"],
+	} {
+		cs := base
+		set(&cs, 3)
+		key := sim.ConfigKey(experiments.CellConfig(d, "mysql", cs))
+		if key == baseKey {
+			t.Errorf("field %q does not round-trip ConfigKey: candidate collides with base cell", field)
+		}
+	}
+}
+
+func TestHalvingPlanShape(t *testing.T) {
+	sp := mustSpace(t, testSpaceJSON)
+	plan := sp.HalvingPlan()
+	if len(plan) != 2 || plan[0] != 6 || plan[1] != 3 {
+		t.Fatalf("plan = %v, want [6 3]", plan)
+	}
+	if sp.PlannedProbes() != 9 {
+		t.Fatalf("PlannedProbes = %d, want 9", sp.PlannedProbes())
+	}
+	f0, f1 := sp.FidelityAt(0), sp.FullFidelity()
+	if f1.Instructions != 40000 || f0.Instructions != 20000 {
+		t.Fatalf("fidelities = %+v / %+v", f0, f1)
+	}
+	if f0.Instructions == f1.Instructions {
+		t.Fatalf("rungs must probe different region budgets")
+	}
+}
+
+// FuzzParseSpace feeds arbitrary JSON to the space validator: it must
+// either reject with a structured error or accept a space whose
+// derived quantities are sane — never panic.
+func FuzzParseSpace(f *testing.F) {
+	f.Add(testSpaceJSON)
+	f.Add(`{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","min":1e999,"max":-1e999}]}`)
+	f.Add(`{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"mechanism","choices":[]}]}`)
+	f.Add(`{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"ftq","values":[3,2,1]},{"name":"a","field":"ftq","values":[1]}]}`)
+	f.Add(`{"name":"t","workloads":["mysql"],"dimensions":[{"name":"a","field":"l2_mshrs","min":-4,"max":4,"step":0.5}]}`)
+	f.Add(`{"name":"","workloads":[],"search":{"samples":-1,"eta":0,"rungs":99},"dimensions":null}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := ParseSpace(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// An accepted space must be internally consistent enough to
+		// drive the search: enumerable, addressable, describable.
+		if sp.SpaceSize() == 0 {
+			t.Fatalf("accepted space has zero size")
+		}
+		if len(RunID(sp)) != 33 {
+			t.Fatalf("malformed run ID")
+		}
+		plan := sp.HalvingPlan()
+		if len(plan) != sp.Search.Rungs || plan[0] < 1 {
+			t.Fatalf("bad halving plan %v", plan)
+		}
+		vecs := sp.Enumerate()
+		if uint64(len(vecs)) != sp.SpaceSize() {
+			t.Fatalf("Enumerate disagrees with SpaceSize")
+		}
+		for _, v := range vecs[:min(len(vecs), 8)] {
+			_ = sp.Label(v)
+			_ = sp.Describe(v)
+			_ = sp.Spec(v)
+		}
+	})
+}
